@@ -1,0 +1,102 @@
+// Command babolbench regenerates every table and figure of the paper's
+// evaluation (Section VI):
+//
+//	babolbench table1   Flash memory parameters (Table I)
+//	babolbench table2   Lines of code per operation (Table II)
+//	babolbench table3   FPGA resources per controller (Table III)
+//	babolbench fig9     Algorithm-2 READ waveform (Figure 9)
+//	babolbench fig10    Read throughput sweep (Figure 10)
+//	babolbench fig11    Polling cadence analysis (Figure 11)
+//	babolbench fig12    End-to-end SSD bandwidth (Figure 12)
+//	babolbench all      everything above, in paper order
+//
+// Flags scale the runs; the defaults reproduce the full sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit fig10/fig12 as CSV instead of tables")
+	ops := flag.Int("ops", 240, "host operations per measured configuration")
+	blocks := flag.Int("blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] table1|table2|table3|fig9|fig10|fig11|fig12|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := exp.Options{Ops: *ops, Blocks: *blocks, WaysList: []int{2, 4, 8}}
+
+	var run func(name string) error
+	run = func(name string) error {
+		switch name {
+		case "table1":
+			fmt.Println(exp.RenderTable1())
+		case "table2":
+			out, err := exp.RenderTable2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		case "table3":
+			fmt.Println(exp.RenderTable3())
+		case "fig9":
+			out, err := exp.Fig9()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		case "fig10":
+			pts, err := exp.Fig10(opt)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Print(exp.Fig10CSV(pts))
+			} else {
+				fmt.Println(exp.RenderFig10(pts))
+			}
+		case "fig11":
+			res, err := exp.Fig11(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(exp.RenderFig11(res))
+		case "fig12":
+			f12 := opt
+			f12.WaysList = []int{1, 2, 4, 8}
+			pts, err := exp.Fig12(f12)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Print(exp.Fig12CSV(pts))
+			} else {
+				fmt.Println(exp.RenderFig12(pts))
+			}
+		case "all":
+			for _, n := range []string{"table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12"} {
+				if err := run(n); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "babolbench:", err)
+		os.Exit(1)
+	}
+}

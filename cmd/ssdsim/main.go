@@ -1,0 +1,140 @@
+// Command ssdsim runs a fio-like workload against a complete simulated
+// SSD (host interface → FTL → channel controller → NAND) and reports
+// bandwidth, IOPS, latency percentiles, and controller statistics.
+//
+//	ssdsim -ctrl rtos -ways 8 -pattern random -kind read -ops 2000
+//	ssdsim -ctrl hw -kind write -ops 5000     # exercises GC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hic"
+	"repro/internal/nand"
+	"repro/internal/ssd"
+)
+
+func main() {
+	ctrl := flag.String("ctrl", "rtos", "controller: hw|rtos|coro")
+	channels := flag.Int("channels", 1, "independent flash channels")
+	pkg := flag.String("package", "Hynix", "NAND preset: Hynix|Toshiba|Micron")
+	ways := flag.Int("ways", 8, "LUNs on the channel")
+	rate := flag.Int("mt", 200, "channel rate in MT/s")
+	mhz := flag.Int("mhz", 1000, "firmware CPU clock in MHz")
+	pattern := flag.String("pattern", "sequential", "sequential|random")
+	kind := flag.String("kind", "read", "read|write")
+	numOps := flag.Int("ops", 1000, "host commands to issue")
+	qd := flag.Int("qd", 32, "queue depth")
+	blocks := flag.Int("blocks", 64, "blocks per LUN")
+	withECC := flag.Bool("ecc", false, "protect pages with SEC-DED ECC")
+	copyback := flag.Bool("copyback", false, "GC relocations use NAND copyback (BABOL only)")
+	suspend := flag.Bool("suspend-reads", false, "reads preempt GC erases (BABOL only)")
+	traceFile := flag.String("trace", "", "replay a host trace file instead of a synthetic pattern")
+	flag.Parse()
+
+	params, err := nand.PresetByName(*pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(2)
+	}
+	params.Geometry.BlocksPerLUN = *blocks
+
+	var kindSel ssd.ControllerKind
+	switch *ctrl {
+	case "hw":
+		kindSel = ssd.CtrlHW
+	case "rtos":
+		kindSel = ssd.CtrlBabolRTOS
+	case "coro":
+		kindSel = ssd.CtrlBabolCoro
+	default:
+		fmt.Fprintf(os.Stderr, "ssdsim: unknown controller %q\n", *ctrl)
+		os.Exit(2)
+	}
+
+	rig, err := ssd.Build(ssd.BuildConfig{
+		Params: params, Channels: *channels, Ways: *ways, RateMT: *rate,
+		Controller: kindSel, CPUMHz: *mhz, WithECC: *withECC,
+		UseCopyback: *copyback, SuspendReads: *suspend,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+	defer rig.Close()
+
+	pat := hic.Sequential
+	if *pattern == "random" {
+		pat = hic.Random
+	}
+	k := hic.KindRead
+	if *kind == "write" {
+		k = hic.KindWrite
+	}
+
+	working := 64 * *ways * *channels
+	if working > rig.FTL.LogicalPages() {
+		working = rig.FTL.LogicalPages()
+	}
+	if k == hic.KindRead {
+		if err := rig.SSD.Preload(working); err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	var res *hic.Result
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(1)
+		}
+		entries, err := hic.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(1)
+		}
+		res, err = hic.ReplayTrace(rig.Kernel, rig.SSD, entries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(1)
+		}
+		*numOps = len(entries)
+	} else {
+		var err error
+		res, err = hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+			Pattern: pat, Kind: k,
+			NumOps: *numOps, QueueDepth: *qd, LogicalPages: working, Seed: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(1)
+		}
+	}
+	rig.Kernel.Run()
+
+	pageBytes := params.Geometry.PageBytes
+	fmt.Printf("ssdsim: %s %s on %s, %d ch × %d ways @ %d MT/s, %s controller",
+		*pattern, *kind, params.Name, *channels, *ways, *rate, kindSel)
+	if kindSel != ssd.CtrlHW {
+		fmt.Printf(" (%d MHz)", *mhz)
+	}
+	fmt.Println()
+	fmt.Printf("  completed: %d/%d (%d failed)\n", res.Completed, *numOps, res.Failed)
+	fmt.Printf("  elapsed:   %v (virtual)\n", res.Elapsed())
+	fmt.Printf("  bandwidth: %.1f MB/s   IOPS: %.0f\n", res.BandwidthMBps(pageBytes), res.IOPS())
+	fmt.Printf("  latency:   mean %v, p50 %v, p99 %v\n",
+		res.MeanLatency(), res.LatencyPercentile(50), res.LatencyPercentile(99))
+	st := rig.SSD.Stats()
+	fst := rig.FTL.Stats()
+	fmt.Printf("  ssd:       GC cycles %d, ECC corrections %d/%d failures\n",
+		st.GCCycles, st.ECCCorrections, st.ECCFailures)
+	if k == hic.KindWrite {
+		fmt.Printf("  ftl:       write amplification %.2f\n", fst.WriteAmplification())
+	}
+	_ = fst
+}

@@ -1,0 +1,76 @@
+package area
+
+import "testing"
+
+func TestEstimateAdditive(t *testing.T) {
+	m := Module{FSMStates: 10, RegBits: 100, Comparators: 2, BufferBytes: 4096}
+	single := Estimate(Inventory{Modules: []Module{m}})
+	double := Estimate(Inventory{Modules: []Module{m, m}})
+	if double.LUT != 2*single.LUT || double.FF != 2*single.FF || double.BRAM != 2*single.BRAM {
+		t.Errorf("estimate not additive: %+v vs %+v", single, double)
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	states := Estimate(Inventory{Modules: []Module{{FSMStates: 1}}})
+	if states.LUT != 10 || states.FF != 6 || states.BRAM != 0 {
+		t.Errorf("per-state cost: %+v", states)
+	}
+	buf := Estimate(Inventory{Modules: []Module{{BufferBytes: 2048}}})
+	if buf.BRAM != 1 {
+		t.Errorf("one tile of buffer: %+v", buf)
+	}
+}
+
+func TestOrderingMatchesPaper(t *testing.T) {
+	sync := Estimate(SyncHW(8))
+	async := Estimate(AsyncHW(8))
+	babol := Estimate(Babol())
+	if !(sync.LUT > async.LUT && async.LUT > babol.LUT) {
+		t.Errorf("LUT ordering wrong: sync=%d async=%d babol=%d", sync.LUT, async.LUT, babol.LUT)
+	}
+	if !(sync.FF > async.FF && async.FF > babol.FF) {
+		t.Errorf("FF ordering wrong: sync=%d async=%d babol=%d", sync.FF, async.FF, babol.FF)
+	}
+	if !(sync.BRAM > async.BRAM && async.BRAM > babol.BRAM) {
+		t.Errorf("BRAM ordering wrong: sync=%v async=%v babol=%v", sync.BRAM, async.BRAM, babol.BRAM)
+	}
+}
+
+func TestCalibrationNearPaper(t *testing.T) {
+	paper := PaperTableIII()
+	ests := map[string]Resources{
+		"Synchronous HW-based [50]":  Estimate(SyncHW(8)),
+		"Asynchronous HW-based [25]": Estimate(AsyncHW(8)),
+		"BABOL":                      Estimate(Babol()),
+	}
+	// The model is a structural estimate, not synthesis: require each
+	// figure within 2× of the published number — the shape test above is
+	// the real claim.
+	for name, want := range paper {
+		got := ests[name]
+		check := func(metric string, g, w float64) {
+			if g < w/2 || g > w*2 {
+				t.Errorf("%s %s: model %v vs paper %v (off >2×)", name, metric, g, w)
+			}
+		}
+		check("LUT", float64(got.LUT), float64(want.LUT))
+		check("FF", float64(got.FF), float64(want.FF))
+		check("BRAM", got.BRAM, want.BRAM)
+	}
+}
+
+func TestBabolSmallestByConstruction(t *testing.T) {
+	// BABOL's fabric must be a subset-scale design: fewer FSM states
+	// than even one synchronous controller's per-LUN modules combined.
+	var babolStates, syncStates int
+	for _, m := range Babol().Modules {
+		babolStates += m.FSMStates
+	}
+	for _, m := range SyncHW(8).Modules {
+		syncStates += m.FSMStates
+	}
+	if babolStates >= syncStates {
+		t.Errorf("BABOL states %d not below sync %d", babolStates, syncStates)
+	}
+}

@@ -1,0 +1,276 @@
+// Package bus models one flash channel: the shared command/address/data
+// bus that connects a channel controller to the LUNs ("chips") attached
+// to it. The bus enforces exclusivity, charges transfer time according to
+// the configured ONFI data-interface mode, demultiplexes chip-enable
+// selection, and records every segment into a wave.Recorder.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+	"repro/internal/wave"
+)
+
+// ChipMask selects a set of chips on the channel, one bit per chip. The
+// Chip Control µFSM drives this; most operations select exactly one chip,
+// but gang-scheduled operations (e.g. RAIL-style replicated writes)
+// select several.
+type ChipMask uint16
+
+// Mask builds a mask selecting exactly chip i.
+func Mask(i int) ChipMask { return 1 << i }
+
+// Has reports whether chip i is selected.
+func (m ChipMask) Has(i int) bool { return m&(1<<i) != 0 }
+
+// Count reports how many chips are selected.
+func (m ChipMask) Count() int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Channel is one shared flash channel.
+type Channel struct {
+	kernel *sim.Kernel
+	cfg    onfi.BusConfig
+	timing onfi.Timing
+	chips  []*nand.LUN
+	rec    *wave.Recorder
+
+	busyUntil sim.Time
+	stats     Stats
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	LatchBursts   uint64
+	DataOutBursts uint64
+	DataInBursts  uint64
+	Pauses        uint64
+	BytesOut      uint64
+	BytesIn       uint64
+	BusyTime      sim.Duration
+}
+
+// New creates a channel. rec may be nil to disable waveform capture.
+func New(k *sim.Kernel, cfg onfi.BusConfig, timing onfi.Timing, rec *wave.Recorder) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{kernel: k, cfg: cfg, timing: timing, rec: rec}, nil
+}
+
+// Attach wires a LUN onto the channel and returns its chip index.
+func (c *Channel) Attach(l *nand.LUN) int {
+	c.chips = append(c.chips, l)
+	return len(c.chips) - 1
+}
+
+// Chips reports how many chips are attached.
+func (c *Channel) Chips() int { return len(c.chips) }
+
+// Chip returns the LUN at index i.
+func (c *Channel) Chip(i int) *nand.LUN { return c.chips[i] }
+
+// Config returns the electrical configuration.
+func (c *Channel) Config() onfi.BusConfig { return c.cfg }
+
+// Timing returns the ONFI timing parameter set in force.
+func (c *Channel) Timing() onfi.Timing { return c.timing }
+
+// Recorder returns the attached waveform recorder (may be nil).
+func (c *Channel) Recorder() *wave.Recorder { return c.rec }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// SetRate reclocks the channel at runtime — the boot flow runs slowly in
+// SDR-compatible speed, switches the packages' timing mode via SET
+// FEATURES, and then raises the channel clock. The new rate applies to
+// segments issued afterwards.
+func (c *Channel) SetRate(rateMT int) error {
+	next := c.cfg
+	next.RateMT = rateMT
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	c.cfg = next
+	return nil
+}
+
+// Free reports whether the channel is idle at the current virtual time.
+func (c *Channel) Free() bool { return c.kernel.Now() >= c.busyUntil }
+
+// FreeAt reports when the channel becomes idle.
+func (c *Channel) FreeAt() sim.Time { return c.busyUntil }
+
+func (c *Channel) checkMask(m ChipMask) error {
+	if m == 0 {
+		return fmt.Errorf("bus: empty chip mask")
+	}
+	for i := 0; i < 16; i++ {
+		if m.Has(i) && i >= len(c.chips) {
+			return fmt.Errorf("bus: chip %d selected but only %d attached", i, len(c.chips))
+		}
+	}
+	return nil
+}
+
+// claim appends a segment of length d to the channel schedule: it starts
+// at the later of now and the current busy horizon, so segments chained
+// within one transaction queue back-to-back. Transaction *starts* are
+// gated by the schedulers, which only grant a free channel; within a
+// granted transaction, chained segments append without re-arbitration
+// (a transaction "monopolizes the channel", paper §V).
+func (c *Channel) claim(d sim.Duration) (start, end sim.Time) {
+	start = c.kernel.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	end = start.Add(d)
+	c.busyUntil = end
+	c.stats.BusyTime += d
+	return start, end
+}
+
+// firstChip returns the lowest selected chip index for trace labelling.
+func firstChip(m ChipMask) int {
+	for i := 0; i < 16; i++ {
+		if m.Has(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Latch drives a command/address burst to every selected chip. The burst
+// occupies the channel for the full segment time (CE setup, n latch
+// cycles, CE hold, and the trailing tWB absorption wait). It returns the
+// time at which the channel frees.
+func (c *Channel) Latch(sel ChipMask, latches []onfi.Latch, opID uint64) (sim.Time, error) {
+	if err := c.checkMask(sel); err != nil {
+		return 0, err
+	}
+	if len(latches) == 0 {
+		return 0, fmt.Errorf("bus: empty latch burst")
+	}
+	start, end := c.claim(c.timing.LatchSegment(len(latches)))
+	// The LUN absorbs the command at the end of the burst.
+	for i := range c.chips {
+		if sel.Has(i) {
+			if err := c.chips[i].Latch(end, latches); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c.stats.LatchBursts++
+	c.rec.Record(wave.Segment{
+		Start: start, End: end, Kind: wave.KindCmdAddr,
+		Chip: firstChip(sel), Label: wave.SummarizeLatches(latches),
+		Latches: latches, OpID: opID,
+	})
+	return end, nil
+}
+
+// DataOut streams n bytes from one chip to the controller. The channel is
+// occupied for the tWHR command-to-data gap, the DQS preamble, the data
+// transfer, and the postamble. Exactly one chip must be selected: ONFI
+// cannot gang data output.
+func (c *Channel) DataOut(sel ChipMask, n int, opID uint64) ([]byte, sim.Time, error) {
+	if err := c.checkMask(sel); err != nil {
+		return nil, 0, err
+	}
+	if sel.Count() != 1 {
+		return nil, 0, fmt.Errorf("bus: data out needs exactly one chip, mask has %d", sel.Count())
+	}
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bus: data out of %d bytes", n)
+	}
+	chip := firstChip(sel)
+	if max := c.chips[chip].MaxRateMT(); c.cfg.RateMT > max {
+		return nil, 0, fmt.Errorf("bus: data out at %d MT/s but chip %d's timing mode tops out at %d MT/s (boot flow must switch it via SET FEATURES)", c.cfg.RateMT, chip, max)
+	}
+	start, end := c.claim(c.timing.TWHR + c.timing.DataSegment(c.cfg, n))
+	xferStart := start.Add(c.timing.TWHR)
+	data, err := c.chips[chip].DataOut(xferStart, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.stats.DataOutBursts++
+	c.stats.BytesOut += uint64(n)
+	c.rec.Record(wave.Segment{
+		Start: xferStart, End: end, Kind: wave.KindDataOut,
+		Chip: chip, Bytes: n, Label: "data out", OpID: opID,
+	})
+	return data, end, nil
+}
+
+// DataIn streams data from the controller to every selected chip
+// (broadcast writes are how gang-replication works). The channel is
+// occupied for the DQS preamble, the transfer, and the postamble.
+func (c *Channel) DataIn(sel ChipMask, data []byte, opID uint64) (sim.Time, error) {
+	if err := c.checkMask(sel); err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("bus: empty data in")
+	}
+	for i := range c.chips {
+		if sel.Has(i) {
+			if max := c.chips[i].MaxRateMT(); c.cfg.RateMT > max {
+				return 0, fmt.Errorf("bus: data in at %d MT/s but chip %d's timing mode tops out at %d MT/s", c.cfg.RateMT, i, max)
+			}
+		}
+	}
+	start, end := c.claim(c.timing.DataSegment(c.cfg, len(data)))
+	for i := range c.chips {
+		if sel.Has(i) {
+			if err := c.chips[i].DataIn(start, data); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c.stats.DataInBursts++
+	c.stats.BytesIn += uint64(len(data))
+	c.rec.Record(wave.Segment{
+		Start: start, End: end, Kind: wave.KindDataIn,
+		Chip: firstChip(sel), Bytes: len(data), Label: "data in", OpID: opID,
+	})
+	return end, nil
+}
+
+// Pause occupies the channel for d without driving any pins — the Timer
+// µFSM's emission. Used for inter-segment delays such as tADL that must
+// hold the bus.
+func (c *Channel) Pause(d sim.Duration, opID uint64) (sim.Time, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("bus: negative pause %v", d)
+	}
+	start, end := c.claim(d)
+	c.stats.Pauses++
+	c.rec.Record(wave.Segment{
+		Start: start, End: end, Kind: wave.KindWait, Chip: -1,
+		Label: "timer", OpID: opID,
+	})
+	return end, nil
+}
+
+// Status is a convenience for the READ STATUS idiom: it latches 0x70 to
+// one chip and reads the status byte back, occupying the channel for both
+// segments. It returns the status byte and the channel-free time.
+func (c *Channel) Status(chip int, opID uint64) (byte, sim.Time, error) {
+	if _, err := c.Latch(Mask(chip), []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}, opID); err != nil {
+		return 0, 0, err
+	}
+	data, end, err := c.DataOut(Mask(chip), 1, opID)
+	if err != nil {
+		return 0, 0, err
+	}
+	return data[0], end, nil
+}

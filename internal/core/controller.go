@@ -1,0 +1,403 @@
+// Package core implements the BABOL channel controller: the assembly of
+// the software environment (operations as coroutines, task scheduler,
+// transaction scheduler) with the programmable hardware (µFSM executor)
+// described in the paper's Figure 5.
+//
+// The division of labour mirrors the paper exactly:
+//
+//   - Operations are sequential code (coroutines) that *describe* waveform
+//     segments by accumulating µFSM instructions, bundle them into
+//     transactions, and yield (Ctx.Submit — the paper's add_transaction +
+//     co_await).
+//   - The Task Scheduler picks which runnable operation the single
+//     firmware core resumes next; every resume, submit, and poll
+//     iteration is charged to the CPU model.
+//   - The Transaction Scheduler orders queued transactions; the hardware
+//     execution unit pops the head whenever the channel is free, with no
+//     software on that path — the asynchronous principle that lets a slow
+//     CPU coexist with a fast channel as long as descriptions are
+//     produced early enough.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/coro"
+	"repro/internal/cpumodel"
+	"repro/internal/dram"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/ufsm"
+)
+
+// OpFunc is a flash operation: sequential logic that drives the µFSMs
+// through the Ctx. It is the Go analogue of the paper's Algorithms 1–3.
+type OpFunc func(*Ctx) error
+
+// Config assembles a controller.
+type Config struct {
+	Kernel  *sim.Kernel
+	Channel *bus.Channel
+	DRAM    *dram.Buffer
+	CPU     *cpumodel.CPU
+	// TaskQueue defaults to FIFO; TxnQueue defaults to issue-first.
+	TaskQueue sched.TaskQueue
+	TxnQueue  sched.TxnQueue
+}
+
+// OpRequest is a request to run one operation, as the FTL would issue it.
+type OpRequest struct {
+	// Func is the operation logic.
+	Func OpFunc
+	// Chip is the primary target chip on the channel.
+	Chip int
+	// ExtraChips are additional chips a gang-scheduled operation drives;
+	// admission waits until every listed chip is free.
+	ExtraChips []int
+	// Priority feeds priority-based schedulers; larger is more urgent.
+	Priority int
+	// Done is called when the operation completes (may be nil).
+	Done func(error)
+	// Label annotates traces and errors.
+	Label string
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	OpsSubmitted   uint64
+	OpsCompleted   uint64
+	OpsFailed      uint64
+	TxnsExecuted   uint64
+	AdmissionWaits uint64
+}
+
+// Controller is one BABOL channel controller instance.
+type Controller struct {
+	k    *sim.Kernel
+	ch   *bus.Channel
+	mem  *dram.Buffer
+	cpu  *cpumodel.CPU
+	exec *ufsm.Executor
+
+	taskQ sched.TaskQueue
+	txnQ  sched.TxnQueue
+
+	nextOpID  uint64
+	nextTxnID uint64
+
+	scratch *scratchRing
+
+	// Per-chip operation slots. Each chip runs one operation ("active")
+	// and pre-admits one more ("staged"): the staged operation executes
+	// its software up to its first transaction, whose description waits
+	// on a hardware chip-busy gate. Producing the next segment's
+	// description before the opportunity to execute it is the core
+	// asynchronous principle (§III: "while a data transfer is ongoing,
+	// there is enough time to decide in software on the next task to
+	// give a particular LUN").
+	chipActive map[int]*opState
+	chipStaged map[int]*opState
+	admitQ     []*opState
+	live       map[uint64]*opState
+
+	dispatching bool // a software dispatch chain is in flight
+	hwArmed     bool // the hardware unit is waiting for/running a txn
+
+	stats   Stats
+	latency LatencyStats
+}
+
+// New builds a controller. Channel, DRAM, CPU, and Kernel are required.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Kernel == nil || cfg.Channel == nil || cfg.DRAM == nil || cfg.CPU == nil {
+		return nil, fmt.Errorf("core: Kernel, Channel, DRAM, and CPU are all required")
+	}
+	if cfg.TaskQueue == nil {
+		cfg.TaskQueue = sched.NewTaskFIFO()
+	}
+	if cfg.TxnQueue == nil {
+		cfg.TxnQueue = sched.NewTxnIssueFirst()
+	}
+	return &Controller{
+		k:          cfg.Kernel,
+		ch:         cfg.Channel,
+		mem:        cfg.DRAM,
+		cpu:        cfg.CPU,
+		exec:       ufsm.NewExecutor(cfg.Channel, cfg.DRAM),
+		taskQ:      cfg.TaskQueue,
+		txnQ:       cfg.TxnQueue,
+		scratch:    newScratchRing(cfg.DRAM),
+		chipActive: make(map[int]*opState),
+		chipStaged: make(map[int]*opState),
+		live:       make(map[uint64]*opState),
+	}, nil
+}
+
+// Channel returns the controller's channel.
+func (c *Controller) Channel() *bus.Channel { return c.ch }
+
+// CPU returns the firmware CPU model.
+func (c *Controller) CPU() *cpumodel.CPU { return c.cpu }
+
+// DRAM returns the staging buffer the Packetizer DMAs against.
+func (c *Controller) DRAM() *dram.Buffer { return c.mem }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Pending reports operations admitted or waiting for admission.
+func (c *Controller) Pending() int { return len(c.live) + len(c.admitQ) }
+
+// Start submits an operation request. Admission, scheduling, and
+// execution all happen in virtual time; Done fires when the operation
+// finishes. Start returns the operation ID.
+func (c *Controller) Start(req OpRequest) uint64 {
+	c.nextOpID++
+	id := c.nextOpID
+	st := &opState{id: id, req: req, ctrl: c, startedAt: c.k.Now()}
+	c.stats.OpsSubmitted++
+	// Admission is a firmware action: charge it.
+	c.cpu.Exec(c.cpu.Profile().AdmitCycles, func() { c.admit(st) })
+	return id
+}
+
+// admit places st in a chip slot if one is open, else parks it.
+// Single-chip operations may enter the "staged" slot behind a running
+// operation; gang operations (ExtraChips) need every chip's active slot
+// free and are never staged.
+func (c *Controller) admit(st *opState) {
+	chips := st.chips()
+	if len(chips) == 1 {
+		chip := chips[0]
+		switch {
+		case c.chipActive[chip] == nil:
+			c.chipActive[chip] = st
+			c.activate(st)
+		case c.chipStaged[chip] == nil:
+			c.chipStaged[chip] = st
+			st.staged = true
+			c.activate(st)
+		default:
+			c.stats.AdmissionWaits++
+			c.admitQ = append(c.admitQ, st)
+		}
+		return
+	}
+	for _, chip := range chips {
+		if c.chipActive[chip] != nil || c.chipStaged[chip] != nil {
+			c.stats.AdmissionWaits++
+			c.admitQ = append(c.admitQ, st)
+			return
+		}
+	}
+	for _, chip := range chips {
+		c.chipActive[chip] = st
+	}
+	c.activate(st)
+}
+
+func (c *Controller) activate(st *opState) {
+	st.ctx = &Ctx{st: st, ctrl: c}
+	st.co = coro.New(func(y *coro.Yielder) error {
+		st.ctx.y = y
+		return st.req.Func(st.ctx)
+	})
+	c.live[st.id] = st
+	c.makeRunnable(st, 0)
+}
+
+// makeRunnable queues st for the firmware to resume, with extra cycles
+// charged on top of the context switch (e.g. poll-result decoding).
+func (c *Controller) makeRunnable(st *opState, extraCycles int64) {
+	st.wakeExtra = extraCycles
+	c.taskQ.Push(st)
+	c.pump()
+}
+
+// pump drives the software side: one schedule pass + context switch at a
+// time, serialized on the CPU model.
+func (c *Controller) pump() {
+	if c.dispatching || c.taskQ.Len() == 0 {
+		return
+	}
+	c.dispatching = true
+	p := c.cpu.Profile()
+	c.cpu.Exec(p.ScheduleCycles, func() {
+		t := c.taskQ.Pop()
+		if t == nil {
+			c.dispatching = false
+			return
+		}
+		st := t.(*opState)
+		c.cpu.Exec(p.SwitchCycles+st.wakeExtra, func() {
+			c.resumeOp(st)
+			c.dispatching = false
+			c.pump()
+		})
+	})
+}
+
+// resumeOp hands control to the operation coroutine until its next yield
+// and then processes the yield reason.
+func (c *Controller) resumeOp(st *opState) {
+	finished := st.co.Resume()
+	if finished {
+		c.finishOp(st, st.co.Err())
+		return
+	}
+	switch st.ctx.pending {
+	case pendSubmit:
+		tx := st.ctx.pendingTxn
+		resubmit := st.ctx.pollResubmit
+		st.ctx.pendingTxn = nil
+		// Building + enqueueing the transaction costs firmware time;
+		// only after that charge does the description reach the
+		// hardware-visible queue. A polling *resubmission* — the same
+		// status transaction issued again because the last answer was
+		// "busy" — additionally pays the loop-body cost (§VI-C calls
+		// these "polling resubmissions"; they dominate the coroutine
+		// environment's overhead).
+		cycles := c.cpu.Profile().SubmitCycles
+		if resubmit {
+			cycles += c.cpu.Profile().PollCycles
+		}
+		c.cpu.Exec(cycles, func() {
+			c.nextTxnID++
+			tx.ID = c.nextTxnID
+			if st.staged && !st.submittedAny {
+				// The chip is still owned by its active operation: the
+				// description waits on the hardware chip-busy gate.
+				st.heldTxn = tx
+				return
+			}
+			st.submittedAny = true
+			c.txnQ.Push(tx)
+			c.armHW()
+		})
+	case pendSleep:
+		d := st.ctx.sleepFor
+		st.ctx.sleepFor = 0
+		c.k.After(d, func() { c.makeRunnable(st, 0) })
+	default:
+		// A yield with no request is a cooperative reschedule.
+		c.makeRunnable(st, 0)
+	}
+}
+
+// finishOp releases the operation's chips, promotes staged operations
+// (releasing their gated transactions with no software on the path — the
+// chip-busy bit is hardware), reports completion, and admits waiting
+// operations.
+func (c *Controller) finishOp(st *opState, err error) {
+	delete(c.live, st.id)
+	for _, chip := range st.chips() {
+		if c.chipActive[chip] == st {
+			c.chipActive[chip] = nil
+		}
+		if c.chipStaged[chip] == st {
+			c.chipStaged[chip] = nil
+		}
+		if next := c.chipStaged[chip]; next != nil && c.chipActive[chip] == nil {
+			c.chipActive[chip] = next
+			c.chipStaged[chip] = nil
+			next.staged = false
+			if held := next.heldTxn; held != nil {
+				// Fallback for operations without a Final-tagged last
+				// transaction: release at software completion.
+				next.heldTxn = nil
+				next.submittedAny = true
+				c.txnQ.Push(held)
+				c.armHW()
+			}
+		}
+	}
+	c.stats.OpsCompleted++
+	c.latency.record(c.k.Now().Sub(st.startedAt))
+	if err != nil {
+		c.stats.OpsFailed++
+	}
+	if st.req.Done != nil {
+		st.req.Done(err)
+	}
+	// Re-run admission for parked operations (in arrival order).
+	parked := c.admitQ
+	c.admitQ = nil
+	for _, w := range parked {
+		c.admit(w)
+	}
+}
+
+// armHW starts the hardware execution unit if it is idle: it waits for
+// the channel to free and then plays the transaction scheduler's head.
+// No software cost is charged on this path — the pop is the hardware
+// "Operation Execution" module reacting to channel vacancy.
+func (c *Controller) armHW() {
+	if c.hwArmed || c.txnQ.Len() == 0 {
+		return
+	}
+	c.hwArmed = true
+	if c.ch.Free() {
+		c.execHead()
+		return
+	}
+	c.k.At(c.ch.FreeAt(), func() { c.execHead() })
+}
+
+func (c *Controller) execHead() {
+	tx := c.txnQ.Pop()
+	if tx == nil {
+		c.hwArmed = false
+		return
+	}
+	res := c.exec.Execute(tx)
+	c.stats.TxnsExecuted++
+	end := res.End
+	if end < c.k.Now() {
+		end = c.k.Now()
+	}
+	c.k.At(end, func() {
+		c.hwArmed = false
+		if tx.Final {
+			// The descriptor's "last" bit opens the chip gate in
+			// hardware: a staged successor's held first transaction
+			// enters the queue before the next pop.
+			c.openGate(tx.Chip)
+		}
+		c.armHW()
+		if tx.Done != nil {
+			tx.Done(res)
+		}
+	})
+}
+
+// openGate releases a staged operation's held first transaction for a
+// chip whose active operation just executed its final transaction.
+func (c *Controller) openGate(chip int) {
+	next := c.chipStaged[chip]
+	if next == nil || next.heldTxn == nil {
+		return
+	}
+	held := next.heldTxn
+	next.heldTxn = nil
+	next.submittedAny = true
+	c.txnQ.Push(held)
+}
+
+// deliver is called (via the transaction's Done) when an operation's
+// submitted transaction completes: the operation becomes runnable again.
+func (c *Controller) deliver(st *opState, res txn.Result) {
+	st.ctx.result = res
+	c.makeRunnable(st, 0)
+}
+
+// Close aborts all in-flight operations, releasing their coroutine
+// goroutines. The controller must not be used afterwards.
+func (c *Controller) Close() {
+	for _, st := range c.live {
+		st.co.Abort()
+	}
+	c.live = make(map[uint64]*opState)
+	c.admitQ = nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/coro"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+// opState tracks one admitted operation. It implements sched.Task.
+type opState struct {
+	id   uint64
+	req  OpRequest
+	ctrl *Controller
+	co   *coro.Coroutine
+	ctx  *Ctx
+	// wakeExtra is charged on top of the context switch at the next
+	// resume (e.g. poll-result decode after a completed transaction).
+	wakeExtra int64
+	// staged marks an operation pre-admitted behind a chip's active
+	// operation; its first transaction is withheld in heldTxn until the
+	// chip frees. submittedAny records whether any transaction was
+	// already released (only the first is ever gated).
+	staged       bool
+	submittedAny bool
+	heldTxn      *txn.Transaction
+	// startedAt stamps Start() for latency accounting.
+	startedAt sim.Time
+}
+
+func (s *opState) TaskID() uint64    { return s.id }
+func (s *opState) TaskChip() int     { return s.req.Chip }
+func (s *opState) TaskPriority() int { return s.req.Priority }
+
+// chips lists every chip the operation needs admitted.
+func (s *opState) chips() []int {
+	out := []int{s.req.Chip}
+	out = append(out, s.req.ExtraChips...)
+	return out
+}
+
+// pendingKind is the reason an operation yielded.
+type pendingKind uint8
+
+const (
+	pendNone pendingKind = iota
+	pendSubmit
+	pendSleep
+)
+
+// Ctx is the software environment handed to an operation: the API for
+// composing µFSM instructions into transactions (paper §V). All methods
+// must be called from inside the operation function.
+type Ctx struct {
+	st   *opState
+	ctrl *Controller
+	y    *coro.Yielder
+
+	instrs   []txn.Instr
+	selected bool
+
+	pending    pendingKind
+	pendingTxn *txn.Transaction
+	sleepFor   sim.Duration
+	result     txn.Result
+
+	// poll-resubmission tracking: a capture transaction submitted right
+	// after another capture transaction is a polling loop iteration.
+	lastWasCapture bool
+	pollResubmit   bool
+}
+
+// OpID returns the operation's controller-assigned ID.
+func (x *Ctx) OpID() uint64 { return x.st.id }
+
+// ChipIndex returns the operation's primary chip.
+func (x *Ctx) ChipIndex() int { return x.st.req.Chip }
+
+// Now returns the current virtual time.
+func (x *Ctx) Now() sim.Time { return x.ctrl.k.Now() }
+
+// Params returns the primary chip's NAND parameters (geometry, timings).
+func (x *Ctx) Params() nand.Params {
+	return x.ctrl.ch.Chip(x.st.req.Chip).Params()
+}
+
+// Geometry returns the primary chip's geometry.
+func (x *Ctx) Geometry() onfi.Geometry { return x.Params().Geometry }
+
+// Chip emits a C/E Control instruction selecting the given chips for the
+// instructions that follow within the current transaction.
+func (x *Ctx) Chip(mask bus.ChipMask) {
+	x.instrs = append(x.instrs, txn.ChipControl{Mask: mask})
+	x.selected = true
+}
+
+// selectDefault ensures the primary chip is selected if the operation
+// hasn't chosen explicitly.
+func (x *Ctx) selectDefault() {
+	if !x.selected {
+		x.Chip(bus.Mask(x.st.req.Chip))
+	}
+}
+
+// CmdAddr emits a Command/Address Writer instruction: one latch burst.
+func (x *Ctx) CmdAddr(latches ...onfi.Latch) {
+	x.selectDefault()
+	x.instrs = append(x.instrs, txn.CmdAddr{Latches: latches})
+}
+
+// Cmd is shorthand for a single command latch.
+func (x *Ctx) Cmd(c onfi.Cmd) { x.CmdAddr(onfi.CmdLatch(c)) }
+
+// WriteData emits a Data Writer + Packetizer instruction: n bytes from
+// DRAM address addr into the selected chips' page registers.
+func (x *Ctx) WriteData(addr, n int) {
+	x.selectDefault()
+	x.instrs = append(x.instrs, txn.DataWrite{Addr: addr, N: n})
+}
+
+// ReadData emits a Data Reader + Packetizer instruction: n bytes from the
+// selected chip into DRAM at addr.
+func (x *Ctx) ReadData(addr, n int) {
+	x.selectDefault()
+	x.instrs = append(x.instrs, txn.DataRead{Addr: addr, N: n})
+}
+
+// ReadCapture emits a Data Reader instruction whose bytes are returned in
+// the submit result instead of DMA-ed to DRAM (status/ID/feature reads).
+func (x *Ctx) ReadCapture(n int) {
+	x.selectDefault()
+	x.instrs = append(x.instrs, txn.DataRead{Addr: -1, N: n, Capture: true})
+}
+
+// Wait emits a Timer instruction holding the channel for d (tADL-style
+// inter-segment delays that must keep the bus quiet).
+func (x *Ctx) Wait(d sim.Duration) {
+	x.instrs = append(x.instrs, txn.TimerWait{D: d})
+}
+
+// Submit bundles the accumulated instructions into a transaction,
+// enqueues it for the transaction scheduler, and suspends the operation
+// until the hardware has executed it — the paper's
+// add_transaction(...) / co_await pair. It returns the execution result.
+func (x *Ctx) Submit() txn.Result { return x.submit(false) }
+
+// SubmitFinal is Submit for an operation's statically known last
+// transaction (e.g. a READ's data transfer). The hardware opens the
+// chip's gate when it completes, so a staged successor starts instantly.
+func (x *Ctx) SubmitFinal() txn.Result { return x.submit(true) }
+
+func (x *Ctx) submit(final bool) txn.Result {
+	if len(x.instrs) == 0 {
+		return txn.Result{Err: fmt.Errorf("core: submit with no instructions")}
+	}
+	capture := false
+	for _, in := range x.instrs {
+		if dr, ok := in.(txn.DataRead); ok && dr.Capture {
+			capture = true
+			break
+		}
+	}
+	x.pollResubmit = capture && x.lastWasCapture
+	x.lastWasCapture = capture
+	tx := &txn.Transaction{
+		OpID:     x.st.id,
+		Chip:     x.st.req.Chip,
+		Priority: x.st.req.Priority,
+		Final:    final,
+		Instrs:   x.instrs,
+	}
+	st := x.st
+	tx.Done = func(res txn.Result) { x.ctrl.deliver(st, res) }
+	x.instrs = nil
+	x.selected = false
+	x.pending = pendSubmit
+	x.pendingTxn = tx
+	x.y.Yield()
+	x.pending = pendNone
+	return x.result
+}
+
+// Sleep suspends the operation for d of virtual time without occupying
+// the channel. Operations use it for coarse waits where polling would be
+// wasteful.
+func (x *Ctx) Sleep(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	x.pending = pendSleep
+	x.sleepFor = d
+	x.y.Yield()
+	x.pending = pendNone
+}
+
+// YieldHint cooperatively reschedules the operation, letting other
+// runnable operations use the firmware core.
+func (x *Ctx) YieldHint() {
+	x.pending = pendNone
+	x.y.Yield()
+}

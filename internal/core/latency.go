@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// LatencyStats aggregates operation latencies (Start → Done) in virtual
+// time. The controller records every completed operation; experiments
+// and the SSD assembly read percentiles from here instead of
+// re-instrumenting the host layer.
+type LatencyStats struct {
+	samples []sim.Duration
+	sorted  bool
+}
+
+func (l *LatencyStats) record(d sim.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count reports recorded completions.
+func (l *LatencyStats) Count() int { return len(l.samples) }
+
+// Mean reports the average latency.
+func (l *LatencyStats) Mean() sim.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / sim.Duration(len(l.samples))
+}
+
+// Percentile reports the p-th percentile latency (0 < p ≤ 100).
+func (l *LatencyStats) Percentile(p float64) sim.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(p/100*float64(len(l.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Max reports the worst observed latency.
+func (l *LatencyStats) Max() sim.Duration {
+	var max sim.Duration
+	for _, s := range l.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// String summarizes the distribution.
+func (l *LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(99), l.Max())
+}
+
+// Latency returns the controller's operation-latency distribution.
+func (c *Controller) Latency() *LatencyStats { return &c.latency }

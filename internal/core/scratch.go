@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// scratchSize is the DRAM carved from the top of the buffer for small
+// controller-owned DMA staging (SET FEATURES parameters and the like).
+const scratchSize = 64 << 10
+
+// Scratch is a small controller-owned DRAM staging window.
+type Scratch struct {
+	// Addr is the window's DRAM address, usable in WriteData/ReadData.
+	Addr int
+	// Bytes is the live view of the window.
+	Bytes []byte
+}
+
+// scratchRing hands out small windows from a fixed region, recycling
+// space in FIFO order. Windows are short-lived: they only need to stay
+// valid until the transaction that references them executes, and the
+// ring is far larger than the transaction queue's aggregate demand.
+type scratchRing struct {
+	mem  *dram.Buffer
+	base int
+	size int
+	next int
+}
+
+func newScratchRing(mem *dram.Buffer) *scratchRing {
+	size := scratchSize
+	if size > mem.Size()/4 {
+		size = mem.Size() / 4
+	}
+	return &scratchRing{mem: mem, base: mem.Size() - size, size: size}
+}
+
+func (r *scratchRing) alloc(n int) (Scratch, error) {
+	if n <= 0 || n > r.size {
+		return Scratch{}, fmt.Errorf("core: scratch alloc of %d bytes (ring %d)", n, r.size)
+	}
+	if r.next+n > r.size {
+		r.next = 0 // wrap
+	}
+	addr := r.base + r.next
+	r.next += n
+	w, err := r.mem.Window(addr, n)
+	if err != nil {
+		return Scratch{}, err
+	}
+	return Scratch{Addr: addr, Bytes: w}, nil
+}
+
+// Controller returns the controller running this operation, giving
+// operations access to channel timing and configuration.
+func (x *Ctx) Controller() *Controller { return x.ctrl }
+
+// Scratch allocates a short-lived DRAM staging window for outbound
+// parameter bytes (e.g. SET FEATURES values). The window remains valid
+// until well after the referencing transaction executes.
+func (x *Ctx) Scratch(n int) (Scratch, error) {
+	return x.ctrl.scratch.alloc(n)
+}

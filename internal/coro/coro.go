@@ -1,0 +1,117 @@
+// Package coro provides deterministic cooperative coroutines: the Go
+// equivalent of the C++20 coroutines (and FreeRTOS tasks) BABOL writes
+// its flash operations in.
+//
+// A coroutine is ordinary sequential code that suspends at explicit Yield
+// points. Exactly one coroutine runs at a time: Resume hands control to
+// the coroutine and blocks until it yields or finishes, so the simulation
+// kernel always observes a single logical thread — mirroring the paper's
+// single firmware core — and execution is fully deterministic.
+//
+// Coroutines are backed by goroutines with a strict two-channel handshake.
+// The cost of a context switch in *virtual* time is charged separately by
+// the controller through cpumodel; the host-level goroutine switch is an
+// implementation detail.
+package coro
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAborted is the error a coroutine finishes with when Abort unwinds it
+// at a yield point.
+var ErrAborted = errors.New("coro: aborted")
+
+// abortSignal is the panic sentinel used to unwind an aborted coroutine.
+type abortSignal struct{}
+
+// Coroutine is a suspended computation. Create with New; drive with
+// Resume; dispose with Abort if abandoning it before completion.
+type Coroutine struct {
+	resume  chan struct{}
+	yielded chan struct{}
+
+	// The fields below are only touched by the side holding control, and
+	// control transfer happens via channel operations, so they need no
+	// locking.
+	finished bool
+	aborted  bool
+	err      error
+}
+
+// Yielder is the coroutine-side handle used to suspend.
+type Yielder struct {
+	c *Coroutine
+}
+
+// New starts fn as a coroutine. fn does not run until the first Resume.
+func New(fn func(*Yielder) error) *Coroutine {
+	c := &Coroutine{
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	y := &Yielder{c: c}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); ok {
+					c.err = ErrAborted
+				} else {
+					// Re-panicking here would kill the process on the
+					// coroutine's goroutine; surface it as an error the
+					// driver can report instead.
+					c.err = fmt.Errorf("coro: panic: %v", r)
+				}
+			}
+			c.finished = true
+			c.yielded <- struct{}{}
+		}()
+		<-c.resume
+		if c.aborted {
+			panic(abortSignal{})
+		}
+		c.err = fn(y)
+	}()
+	return c
+}
+
+// Resume transfers control to the coroutine until its next Yield or its
+// completion. It reports whether the coroutine has finished; once it has,
+// Err returns its result and further Resumes are no-ops.
+func (c *Coroutine) Resume() (finished bool) {
+	if c.finished {
+		return true
+	}
+	c.resume <- struct{}{}
+	<-c.yielded
+	return c.finished
+}
+
+// Finished reports whether the coroutine has run to completion.
+func (c *Coroutine) Finished() bool { return c.finished }
+
+// Err returns the coroutine's result. It is meaningful only after
+// Finished reports true.
+func (c *Coroutine) Err() error { return c.err }
+
+// Abort unwinds a suspended coroutine: its next wake-up panics through
+// all its deferred functions and the coroutine finishes with ErrAborted.
+// Aborting a finished coroutine is a no-op.
+func (c *Coroutine) Abort() {
+	if c.finished {
+		return
+	}
+	c.aborted = true
+	c.Resume()
+}
+
+// Yield suspends the coroutine until the next Resume.
+func (y *Yielder) Yield() {
+	c := y.c
+	c.yielded <- struct{}{}
+	<-c.resume
+	if c.aborted {
+		panic(abortSignal{})
+	}
+}

@@ -1,0 +1,173 @@
+package coro
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunToCompletion(t *testing.T) {
+	var steps []int
+	c := New(func(y *Yielder) error {
+		steps = append(steps, 1)
+		y.Yield()
+		steps = append(steps, 2)
+		y.Yield()
+		steps = append(steps, 3)
+		return nil
+	})
+	if c.Finished() {
+		t.Fatal("finished before first resume")
+	}
+	if len(steps) != 0 {
+		t.Fatal("body ran before first resume")
+	}
+	if c.Resume() {
+		t.Fatal("finished after first yield")
+	}
+	if len(steps) != 1 {
+		t.Fatalf("steps after first resume: %v", steps)
+	}
+	c.Resume()
+	if done := c.Resume(); !done {
+		t.Fatal("not finished after final resume")
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps: %v", steps)
+	}
+	if c.Err() != nil {
+		t.Fatalf("err: %v", c.Err())
+	}
+	// Resume after completion is a safe no-op.
+	if !c.Resume() {
+		t.Fatal("resume after completion should report finished")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	c := New(func(y *Yielder) error {
+		y.Yield()
+		return sentinel
+	})
+	c.Resume()
+	if !c.Resume() {
+		t.Fatal("not finished")
+	}
+	if c.Err() != sentinel {
+		t.Fatalf("err = %v", c.Err())
+	}
+}
+
+func TestAbortAtYield(t *testing.T) {
+	cleaned := false
+	c := New(func(y *Yielder) error {
+		defer func() { cleaned = true }()
+		for {
+			y.Yield()
+		}
+	})
+	c.Resume()
+	c.Abort()
+	if !c.Finished() {
+		t.Fatal("abort did not finish coroutine")
+	}
+	if c.Err() != ErrAborted {
+		t.Fatalf("err = %v", c.Err())
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on abort")
+	}
+	c.Abort() // no-op
+}
+
+func TestAbortBeforeFirstResume(t *testing.T) {
+	ran := false
+	c := New(func(y *Yielder) error {
+		ran = true
+		return nil
+	})
+	c.Abort()
+	if !c.Finished() || c.Err() != ErrAborted {
+		t.Fatalf("finished=%v err=%v", c.Finished(), c.Err())
+	}
+	if ran {
+		t.Fatal("aborted coroutine body ran")
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	c := New(func(y *Yielder) error {
+		panic("kaboom")
+	})
+	if !c.Resume() {
+		t.Fatal("panicking coroutine not finished")
+	}
+	if c.Err() == nil || c.Err() == ErrAborted {
+		t.Fatalf("err = %v", c.Err())
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	var trace []string
+	mk := func(name string) *Coroutine {
+		return New(func(y *Yielder) error {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, name)
+				y.Yield()
+			}
+			return nil
+		})
+	}
+	a, b := mk("a"), mk("b")
+	for !a.Finished() || !b.Finished() {
+		a.Resume()
+		b.Resume()
+	}
+	want := "ababababab" // 3 yields each + final resumes, alternating
+	got := ""
+	for _, s := range trace {
+		got += s
+	}
+	if got != "ababab" {
+		t.Fatalf("trace = %q, want ababab (got-want compare: %q)", got, want)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	// Operations nest (READ calls READ STATUS); yields from nested
+	// helpers must suspend the whole coroutine.
+	inner := func(y *Yielder, log *[]string) {
+		*log = append(*log, "inner-before")
+		y.Yield()
+		*log = append(*log, "inner-after")
+	}
+	var log []string
+	c := New(func(y *Yielder) error {
+		log = append(log, "outer-before")
+		inner(y, &log)
+		log = append(log, "outer-after")
+		return nil
+	})
+	c.Resume()
+	if len(log) != 2 || log[1] != "inner-before" {
+		t.Fatalf("log after first resume: %v", log)
+	}
+	c.Resume()
+	if len(log) != 4 || log[3] != "outer-after" {
+		t.Fatalf("log: %v", log)
+	}
+}
+
+func BenchmarkResumeYield(b *testing.B) {
+	c := New(func(y *Yielder) error {
+		for {
+			y.Yield()
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Resume()
+	}
+	b.StopTimer()
+	c.Abort()
+}

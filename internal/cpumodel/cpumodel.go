@@ -1,0 +1,143 @@
+// Package cpumodel charges virtual time for the controller firmware's
+// computation. The paper's central performance question is a race: can
+// the software schedule the next transaction before the channel or a LUN
+// goes idle? That race depends on the processor frequency (150 MHz
+// soft-core … 1 GHz ARM) and on the software environment's per-action
+// costs (C++ coroutines are convenient but heavy; the RTOS stack is lean
+// but demanding). The model expresses each firmware action as a cycle
+// count and converts cycles to virtual time at the modelled frequency.
+//
+// The CPU is single-core, like the paper's controller processor: firmware
+// actions serialize. Exec queues work behind whatever the firmware is
+// already doing, which is what makes slow processors fall behind fast
+// channels.
+package cpumodel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Profile is the per-action cycle-cost table of one software environment.
+type Profile struct {
+	Name string
+
+	// SubmitCycles is charged when an operation wraps µFSM instructions
+	// into a transaction and enqueues it (the add_transaction of
+	// Algorithm 1).
+	SubmitCycles int64
+
+	// SwitchCycles is charged for every coroutine/task context switch —
+	// suspending one operation and resuming another.
+	SwitchCycles int64
+
+	// ScheduleCycles is charged for one scheduler decision (task or
+	// transaction scheduler pass).
+	ScheduleCycles int64
+
+	// PollCycles is the additional per-iteration overhead of a status
+	// polling loop (loop body, result decode, branch back).
+	PollCycles int64
+
+	// AdmitCycles is charged when the task scheduler admits a new
+	// operation request from the FTL.
+	AdmitCycles int64
+}
+
+// PollIteration is the total cycle cost of one READ STATUS polling cycle:
+// a schedule pass, a switch into the operation, building and submitting
+// the status transaction, and the loop overhead. At 1 GHz the paper
+// measures ≈30 µs for the coroutine stack (Fig. 11); the Coro profile's
+// costs sum to that.
+func (p Profile) PollIteration() int64 {
+	return p.ScheduleCycles + p.SwitchCycles + p.SubmitCycles + p.PollCycles
+}
+
+// Coro returns the cost profile of the C++20-coroutine-style environment:
+// programmer-friendly, but every await goes through a heavyweight runtime.
+func Coro() Profile {
+	return Profile{
+		Name:           "Coro",
+		SubmitCycles:   4000,
+		SwitchCycles:   7000,
+		ScheduleCycles: 4000,
+		PollCycles:     15000,
+		AdmitCycles:    4000,
+	}
+}
+
+// RTOS returns the cost profile of the FreeRTOS-style environment:
+// hand-tuned context switches and static task tables.
+func RTOS() Profile {
+	return Profile{
+		Name:           "RTOS",
+		SubmitCycles:   600,
+		SwitchCycles:   800,
+		ScheduleCycles: 400,
+		PollCycles:     1200,
+		AdmitCycles:    900,
+	}
+}
+
+// CPU models the single firmware core. All firmware work must go through
+// Exec, which serializes it and charges virtual time.
+type CPU struct {
+	kernel  *sim.Kernel
+	freqMHz int
+	profile Profile
+
+	freeAt sim.Time
+	stats  Stats
+}
+
+// Stats reports accumulated CPU activity.
+type Stats struct {
+	CyclesCharged int64
+	BusyTime      sim.Duration
+	Executions    uint64
+}
+
+// New builds a CPU at freqMHz running software with the given profile.
+func New(k *sim.Kernel, freqMHz int, profile Profile) (*CPU, error) {
+	if freqMHz <= 0 {
+		return nil, fmt.Errorf("cpumodel: non-positive frequency %d MHz", freqMHz)
+	}
+	return &CPU{kernel: k, freqMHz: freqMHz, profile: profile}, nil
+}
+
+// FreqMHz reports the modelled clock frequency.
+func (c *CPU) FreqMHz() int { return c.freqMHz }
+
+// Profile returns the software cost profile.
+func (c *CPU) Profile() Profile { return c.profile }
+
+// Stats returns a snapshot of the counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// CycleTime converts a cycle count to virtual time at this CPU's clock.
+func (c *CPU) CycleTime(cycles int64) sim.Duration {
+	// cycles / (freqMHz * 1e6) seconds = cycles * 1e6 / freqMHz picoseconds.
+	return sim.Duration(cycles * 1_000_000 / int64(c.freqMHz))
+}
+
+// Exec schedules fn to run after the firmware has spent the given cycles,
+// queued behind any firmware work already in flight. It returns the
+// completion time.
+func (c *CPU) Exec(cycles int64, fn func()) sim.Time {
+	start := c.kernel.Now()
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	d := c.CycleTime(cycles)
+	end := start.Add(d)
+	c.freeAt = end
+	c.stats.CyclesCharged += cycles
+	c.stats.BusyTime += d
+	c.stats.Executions++
+	c.kernel.At(end, fn)
+	return end
+}
+
+// FreeAt reports when the core finishes its queued work.
+func (c *CPU) FreeAt() sim.Time { return c.freeAt }

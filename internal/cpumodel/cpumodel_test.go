@@ -1,0 +1,105 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNewRejectsBadFreq(t *testing.T) {
+	if _, err := New(sim.NewKernel(), 0, Coro()); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := New(sim.NewKernel(), -5, RTOS()); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestCycleTime(t *testing.T) {
+	k := sim.NewKernel()
+	c, err := New(k, 1000, Coro()) // 1 GHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CycleTime(1000); got != sim.Microsecond {
+		t.Errorf("1000 cycles at 1GHz = %v, want 1us", got)
+	}
+	c150, _ := New(k, 150, Coro())
+	// 150 cycles at 150 MHz = 1 µs.
+	if got := c150.CycleTime(150); got != sim.Microsecond {
+		t.Errorf("150 cycles at 150MHz = %v, want 1us", got)
+	}
+}
+
+func TestPollIterationCalibration(t *testing.T) {
+	k := sim.NewKernel()
+	coro, _ := New(k, 1000, Coro())
+	// Fig. 11: the coroutine controller takes on the order of 30 µs per
+	// polling cycle at 1 GHz.
+	d := coro.CycleTime(Coro().PollIteration())
+	if d < 25*sim.Microsecond || d > 35*sim.Microsecond {
+		t.Errorf("Coro poll iteration at 1GHz = %v, want ≈30us", d)
+	}
+	rtos, _ := New(k, 1000, RTOS())
+	dr := rtos.CycleTime(RTOS().PollIteration())
+	if dr >= d/5 {
+		t.Errorf("RTOS poll (%v) should be far faster than Coro (%v)", dr, d)
+	}
+}
+
+func TestExecSerializes(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := New(k, 1000, RTOS())
+	var done []sim.Time
+	c.Exec(1000, func() { done = append(done, k.Now()) }) // 1 µs
+	c.Exec(2000, func() { done = append(done, k.Now()) }) // queued: +2 µs
+	k.Run()
+	if len(done) != 2 {
+		t.Fatalf("executions = %d", len(done))
+	}
+	if done[0] != sim.Time(sim.Microsecond) {
+		t.Errorf("first exec at %v", done[0])
+	}
+	if done[1] != sim.Time(3*sim.Microsecond) {
+		t.Errorf("second exec at %v, want 3us (serialized)", done[1])
+	}
+	st := c.Stats()
+	if st.CyclesCharged != 3000 || st.Executions != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestExecAfterIdle(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := New(k, 1000, RTOS())
+	c.Exec(1000, func() {})
+	k.Run() // now = 1 µs, CPU idle
+	k.After(9*sim.Microsecond, func() {
+		c.Exec(1000, func() {
+			if k.Now() != sim.Time(11*sim.Microsecond) {
+				t.Errorf("exec after idle at %v, want 11us", k.Now())
+			}
+		})
+	})
+	k.Run()
+}
+
+func TestProfileNames(t *testing.T) {
+	if Coro().Name != "Coro" || RTOS().Name != "RTOS" {
+		t.Error("profile names wrong")
+	}
+}
+
+func TestFreqScaling(t *testing.T) {
+	k := sim.NewKernel()
+	fast, _ := New(k, 1000, Coro())
+	slow, _ := New(k, 150, Coro())
+	if slow.CycleTime(30000) <= fast.CycleTime(30000) {
+		t.Error("slower clock should take longer")
+	}
+	// 150 MHz is 1000/150 ≈ 6.7× slower.
+	ratio := float64(slow.CycleTime(30000)) / float64(fast.CycleTime(30000))
+	if ratio < 6.5 || ratio > 6.8 {
+		t.Errorf("scaling ratio = %v", ratio)
+	}
+}

@@ -1,0 +1,99 @@
+// Package dram models the SSD's DRAM staging buffer. The Packetizer DMAs
+// page data between this buffer and the flash channel; the host interface
+// stages command payloads here.
+//
+// The model is functional (byte-accurate contents, bounds-checked windows)
+// rather than timed: in the systems the paper studies, DRAM bandwidth is
+// far above channel bandwidth, so DRAM access never gates the datapath.
+package dram
+
+import "fmt"
+
+// Buffer is a byte-addressable DRAM region.
+type Buffer struct {
+	mem []byte
+}
+
+// New allocates a buffer of the given size.
+func New(size int) *Buffer {
+	if size <= 0 {
+		panic(fmt.Sprintf("dram: non-positive size %d", size))
+	}
+	return &Buffer{mem: make([]byte, size)}
+}
+
+// Size reports the buffer capacity in bytes.
+func (b *Buffer) Size() int { return len(b.mem) }
+
+// Window returns a mutable view of [addr, addr+n). It is the DMA target
+// handed to the Packetizer. Out-of-range windows return an error — the
+// hardware equivalent of an AXI bus fault.
+func (b *Buffer) Window(addr, n int) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+n > len(b.mem) {
+		return nil, fmt.Errorf("dram: window [%d,%d) outside buffer of %d bytes", addr, addr+n, len(b.mem))
+	}
+	return b.mem[addr : addr+n], nil
+}
+
+// Read copies n bytes at addr into a fresh slice.
+func (b *Buffer) Read(addr, n int) ([]byte, error) {
+	w, err := b.Window(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, w)
+	return out, nil
+}
+
+// Write copies data into the buffer at addr.
+func (b *Buffer) Write(addr int, data []byte) error {
+	w, err := b.Window(addr, len(data))
+	if err != nil {
+		return err
+	}
+	copy(w, data)
+	return nil
+}
+
+// Fill sets [addr, addr+n) to v.
+func (b *Buffer) Fill(addr, n int, v byte) error {
+	w, err := b.Window(addr, n)
+	if err != nil {
+		return err
+	}
+	for i := range w {
+		w[i] = v
+	}
+	return nil
+}
+
+// Allocator hands out non-overlapping regions of a Buffer in a simple
+// bump-pointer fashion. It is how the FTL and the workload generators
+// carve per-request DMA areas.
+type Allocator struct {
+	buf  *Buffer
+	next int
+}
+
+// NewAllocator wraps buf.
+func NewAllocator(buf *Buffer) *Allocator { return &Allocator{buf: buf} }
+
+// Alloc reserves n bytes and returns the region's base address.
+func (a *Allocator) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("dram: alloc of %d bytes", n)
+	}
+	if a.next+n > a.buf.Size() {
+		return 0, fmt.Errorf("dram: out of memory (want %d, %d free)", n, a.buf.Size()-a.next)
+	}
+	addr := a.next
+	a.next += n
+	return addr, nil
+}
+
+// Reset releases all allocations.
+func (a *Allocator) Reset() { a.next = 0 }
+
+// InUse reports allocated bytes.
+func (a *Allocator) InUse() int { return a.next }

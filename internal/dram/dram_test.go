@@ -1,0 +1,124 @@
+package dram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestWindowBounds(t *testing.T) {
+	b := New(100)
+	if _, err := b.Window(0, 100); err != nil {
+		t.Errorf("full window rejected: %v", err)
+	}
+	bad := [][2]int{{-1, 10}, {0, 101}, {95, 10}, {0, -1}}
+	for _, c := range bad {
+		if _, err := b.Window(c[0], c[1]); err == nil {
+			t.Errorf("window [%d,%d) accepted", c[0], c[0]+c[1])
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	b := New(64)
+	data := []byte("hello, flash")
+	if err := b.Write(10, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Read(10, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip: got %q", got)
+	}
+	// Read returns a copy, not an alias.
+	got[0] = 'X'
+	again, _ := b.Read(10, 1)
+	if again[0] != 'h' {
+		t.Error("Read returned an aliased slice")
+	}
+}
+
+func TestWindowIsAliased(t *testing.T) {
+	b := New(16)
+	w, err := b.Window(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 0xAB
+	got, _ := b.Read(4, 1)
+	if got[0] != 0xAB {
+		t.Error("Window is not a live view")
+	}
+}
+
+func TestFill(t *testing.T) {
+	b := New(8)
+	if err := b.Fill(2, 4, 0x5A); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Read(0, 8)
+	want := []byte{0, 0, 0x5A, 0x5A, 0x5A, 0x5A, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Fill: got %v", got)
+	}
+	if err := b.Fill(6, 4, 1); err == nil {
+		t.Error("out-of-range Fill accepted")
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	b := New(100)
+	a := NewAllocator(b)
+	a1, err := a.Alloc(40)
+	if err != nil || a1 != 0 {
+		t.Fatalf("first alloc: %d, %v", a1, err)
+	}
+	a2, err := a.Alloc(40)
+	if err != nil || a2 != 40 {
+		t.Fatalf("second alloc: %d, %v", a2, err)
+	}
+	if _, err := a.Alloc(40); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if a.InUse() != 80 {
+		t.Errorf("InUse = %d", a.InUse())
+	}
+	a.Reset()
+	if a.InUse() != 0 {
+		t.Error("Reset did not free")
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+}
+
+// Property: writes to disjoint regions do not interfere.
+func TestDisjointWritesProperty(t *testing.T) {
+	f := func(x, y byte) bool {
+		b := New(32)
+		if err := b.Write(0, bytes.Repeat([]byte{x}, 16)); err != nil {
+			return false
+		}
+		if err := b.Write(16, bytes.Repeat([]byte{y}, 16)); err != nil {
+			return false
+		}
+		lo, _ := b.Read(0, 16)
+		hi, _ := b.Read(16, 16)
+		return bytes.Equal(lo, bytes.Repeat([]byte{x}, 16)) &&
+			bytes.Equal(hi, bytes.Repeat([]byte{y}, 16))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

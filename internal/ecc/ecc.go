@@ -1,0 +1,168 @@
+// Package ecc implements the SSD's error-correction substrate: a
+// single-error-correct, double-error-detect (SEC-DED) extended Hamming
+// code over 512-byte codewords, the granularity commercial BCH/LDPC
+// engines also use. It stands in for the hardware ECC block of Figure 1:
+// the datapath XORs are identical in structure, only the code strength
+// differs (documented substitution — BCH would correct more bits but
+// exercise the same controller paths).
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CodewordBytes is the data bytes protected per codeword.
+const CodewordBytes = 512
+
+// ParityBytes is the parity overhead per codeword: a 13-bit position
+// syndrome plus one overall-parity bit, packed into two bytes.
+const ParityBytes = 2
+
+// ErrUncorrectable reports a codeword with two or more bit errors.
+var ErrUncorrectable = errors.New("ecc: uncorrectable codeword (≥2 bit errors)")
+
+// Encode computes the parity for one codeword. data must be exactly
+// CodewordBytes long.
+func Encode(data []byte) ([ParityBytes]byte, error) {
+	var out [ParityBytes]byte
+	if len(data) != CodewordBytes {
+		return out, fmt.Errorf("ecc: codeword must be %d bytes, got %d", CodewordBytes, len(data))
+	}
+	syn, overall := rawParity(data)
+	out[0] = byte(syn)
+	out[1] = byte(syn>>8) | overall<<7
+	return out, nil
+}
+
+// Decode checks one codeword against its parity and corrects a single
+// bit error in place. It returns the number of corrected bits (0 or 1);
+// ErrUncorrectable means the data contains at least two flipped bits.
+func Decode(data []byte, parity [ParityBytes]byte) (int, error) {
+	if len(data) != CodewordBytes {
+		return 0, fmt.Errorf("ecc: codeword must be %d bytes, got %d", CodewordBytes, len(data))
+	}
+	storedSyn := uint16(parity[0]) | uint16(parity[1]&0x1F)<<8
+	storedOverall := parity[1] >> 7
+	syn, overall := rawParity(data)
+	synDiff := syn ^ storedSyn
+	overallDiff := overall ^ storedOverall
+
+	switch {
+	case synDiff == 0 && overallDiff == 0:
+		return 0, nil
+	case overallDiff == 1:
+		// Odd number of flips: assume exactly one and correct it. The
+		// syndrome difference is enc(position) = position+1.
+		if synDiff == 0 {
+			// The overall parity bit itself flipped; data is intact.
+			return 0, nil
+		}
+		pos := int(synDiff) - 1
+		if pos >= CodewordBytes*8 {
+			return 0, ErrUncorrectable
+		}
+		data[pos/8] ^= 1 << (pos % 8)
+		return 1, nil
+	default:
+		// Even number of flips with a nonzero syndrome: ≥2 errors.
+		return 0, ErrUncorrectable
+	}
+}
+
+// rawParity computes the 13-bit position syndrome and the overall parity
+// of a codeword: the syndrome is the XOR of enc(i)=i+1 over every set
+// bit position i, and the overall parity is the XOR of all bits.
+func rawParity(data []byte) (syn uint16, overall byte) {
+	for byteIdx, b := range data {
+		for ; b != 0; b &= b - 1 {
+			bit := trailingZeros(b)
+			pos := uint16(byteIdx*8 + bit)
+			syn ^= pos + 1
+			overall ^= 1
+		}
+	}
+	return syn, overall
+}
+
+func trailingZeros(b byte) int {
+	n := 0
+	for b&1 == 0 {
+		b >>= 1
+		n++
+	}
+	return n
+}
+
+// PageParityBytes reports the parity bytes needed to protect n data
+// bytes (rounded up to whole codewords).
+func PageParityBytes(n int) int {
+	cws := (n + CodewordBytes - 1) / CodewordBytes
+	return cws * ParityBytes
+}
+
+// EncodePage computes parity for every codeword of a page. The final
+// partial codeword, if any, is padded with zeros. The returned slice has
+// PageParityBytes(len(page)) bytes.
+func EncodePage(page []byte) []byte {
+	cws := (len(page) + CodewordBytes - 1) / CodewordBytes
+	out := make([]byte, 0, cws*ParityBytes)
+	var buf [CodewordBytes]byte
+	for i := 0; i < cws; i++ {
+		cw := codeword(page, i, buf[:])
+		p, _ := Encode(cw)
+		out = append(out, p[:]...)
+	}
+	return out
+}
+
+// DecodePage verifies and corrects a page in place against parity
+// produced by EncodePage. It returns the total corrected bits;
+// ErrUncorrectable if any codeword has ≥2 errors.
+func DecodePage(page, parity []byte) (int, error) {
+	cws := (len(page) + CodewordBytes - 1) / CodewordBytes
+	if len(parity) < cws*ParityBytes {
+		return 0, fmt.Errorf("ecc: parity too short: %d bytes for %d codewords", len(parity), cws)
+	}
+	corrected := 0
+	var buf [CodewordBytes]byte
+	for i := 0; i < cws; i++ {
+		cw := codeword(page, i, buf[:])
+		var p [ParityBytes]byte
+		copy(p[:], parity[i*ParityBytes:])
+		n, err := Decode(cw, p)
+		if err != nil {
+			return corrected, fmt.Errorf("ecc: codeword %d: %w", i, err)
+		}
+		if n > 0 {
+			// Write the corrected bits back into the page (the last
+			// codeword may be a padded copy).
+			copy(page[i*CodewordBytes:min(len(page), (i+1)*CodewordBytes)], cw)
+			corrected += n
+		}
+	}
+	return corrected, nil
+}
+
+// codeword extracts codeword i of page, zero-padding a trailing partial
+// codeword into buf. Full codewords alias the page directly so Decode
+// can correct in place.
+func codeword(page []byte, i int, buf []byte) []byte {
+	lo := i * CodewordBytes
+	hi := lo + CodewordBytes
+	if hi <= len(page) {
+		return page[lo:hi]
+	}
+	for j := range buf {
+		buf[j] = 0
+	}
+	copy(buf, page[lo:])
+	return buf
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCodeword(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	cw := make([]byte, CodewordBytes)
+	rng.Read(cw)
+	return cw
+}
+
+func TestEncodeRejectsBadLength(t *testing.T) {
+	if _, err := Encode(make([]byte, 10)); err == nil {
+		t.Error("short codeword accepted")
+	}
+	if _, err := Decode(make([]byte, 10), [ParityBytes]byte{}); err == nil {
+		t.Error("short decode accepted")
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	cw := randomCodeword(1)
+	p, err := Encode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), cw...)
+	n, err := Decode(cw, p)
+	if err != nil || n != 0 {
+		t.Fatalf("clean decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(cw, orig) {
+		t.Error("clean decode modified data")
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	for _, bit := range []int{0, 1, 7, 8, 100, 2048, CodewordBytes*8 - 1} {
+		cw := randomCodeword(2)
+		p, _ := Encode(cw)
+		orig := append([]byte(nil), cw...)
+		cw[bit/8] ^= 1 << (bit % 8)
+		n, err := Decode(cw, p)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if n != 1 {
+			t.Fatalf("bit %d: corrected %d", bit, n)
+		}
+		if !bytes.Equal(cw, orig) {
+			t.Fatalf("bit %d: wrong correction", bit)
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	cw := randomCodeword(3)
+	p, _ := Encode(cw)
+	cw[0] ^= 1
+	cw[100] ^= 0x10
+	_, err := Decode(cw, p)
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("double error not detected: %v", err)
+	}
+}
+
+// Property: decode(encode(x)) == x, and any single flip is repaired.
+func TestSECProperty(t *testing.T) {
+	f := func(seed int64, bitRaw uint16) bool {
+		bit := int(bitRaw) % (CodewordBytes * 8)
+		cw := randomCodeword(seed)
+		p, err := Encode(cw)
+		if err != nil {
+			return false
+		}
+		orig := append([]byte(nil), cw...)
+		cw[bit/8] ^= 1 << (bit % 8)
+		n, err := Decode(cw, p)
+		return err == nil && n == 1 && bytes.Equal(cw, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any double flip is flagged, never silently miscorrected.
+func TestDEDProperty(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint16) bool {
+		a := int(aRaw) % (CodewordBytes * 8)
+		b := int(bRaw) % (CodewordBytes * 8)
+		if a == b {
+			return true // same bit twice is no error
+		}
+		cw := randomCodeword(seed)
+		p, _ := Encode(cw)
+		cw[a/8] ^= 1 << (a % 8)
+		cw[b/8] ^= 1 << (b % 8)
+		_, err := Decode(cw, p)
+		return errors.Is(err, ErrUncorrectable)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageParityBytes(t *testing.T) {
+	if got := PageParityBytes(16384); got != 32*ParityBytes {
+		t.Errorf("16KiB page parity = %d", got)
+	}
+	if got := PageParityBytes(1); got != ParityBytes {
+		t.Errorf("1-byte page parity = %d", got)
+	}
+	if got := PageParityBytes(0); got != 0 {
+		t.Errorf("empty page parity = %d", got)
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	page := make([]byte, 16384)
+	rand.New(rand.NewSource(7)).Read(page)
+	parity := EncodePage(page)
+	if len(parity) != PageParityBytes(len(page)) {
+		t.Fatalf("parity length %d", len(parity))
+	}
+	orig := append([]byte(nil), page...)
+
+	// Flip one bit in three different codewords.
+	for _, bit := range []int{5, 512*8 + 9, 16*512*8 + 100} {
+		page[bit/8] ^= 1 << (bit % 8)
+	}
+	n, err := DecodePage(page, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("corrected %d bits, want 3", n)
+	}
+	if !bytes.Equal(page, orig) {
+		t.Error("page not fully repaired")
+	}
+}
+
+func TestPagePartialTailCodeword(t *testing.T) {
+	page := make([]byte, 700) // 1 full + 1 partial codeword
+	rand.New(rand.NewSource(8)).Read(page)
+	parity := EncodePage(page)
+	orig := append([]byte(nil), page...)
+	page[650] ^= 0x40 // flip in the tail
+	n, err := DecodePage(page, parity)
+	if err != nil || n != 1 {
+		t.Fatalf("tail correction: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(page, orig) {
+		t.Error("tail not repaired")
+	}
+}
+
+func TestPageUncorrectable(t *testing.T) {
+	page := make([]byte, 1024)
+	parity := EncodePage(page)
+	page[0] ^= 3 // two flips in codeword 0
+	if _, err := DecodePage(page, parity); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := DecodePage(page, parity[:1]); err == nil {
+		t.Error("short parity accepted")
+	}
+}
+
+func BenchmarkEncodeCodeword(b *testing.B) {
+	cw := randomCodeword(1)
+	b.SetBytes(CodewordBytes)
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePage16K(b *testing.B) {
+	page := make([]byte, 16384)
+	rand.New(rand.NewSource(9)).Read(page)
+	parity := EncodePage(page)
+	b.SetBytes(16384)
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePage(page, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package exp contains the experiment harness: one entry point per table
+// and figure of the paper's evaluation (Section VI). Each experiment
+// builds the necessary rigs, runs the workload in virtual time, and
+// returns both structured results and a rendered text table whose rows
+// match what the paper reports.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hic"
+	"repro/internal/nand"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Options tune experiment scale. Zero values select the full-fidelity
+// defaults; tests use reduced op counts to stay fast.
+type Options struct {
+	// Ops is the number of host operations per measured configuration.
+	Ops int
+	// WaysList overrides the LUN counts swept (capped per package).
+	WaysList []int
+	// Blocks shrinks the per-LUN block count (throughput experiments do
+	// not need full-capacity arrays).
+	Blocks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ops == 0 {
+		o.Ops = 240
+	}
+	if len(o.WaysList) == 0 {
+		o.WaysList = []int{2, 4, 8}
+	}
+	if o.Blocks == 0 {
+		o.Blocks = 64
+	}
+	return o
+}
+
+// shrink reduces a preset's block count for throughput experiments.
+func shrink(p nand.Params, blocks int) nand.Params {
+	p.Geometry.BlocksPerLUN = blocks
+	return p
+}
+
+// readThroughput builds an SSD per cfg, preloads a working set, runs a
+// read workload, and reports bandwidth in MB/s.
+func readThroughput(cfg ssd.BuildConfig, pattern hic.Pattern, ops, queueDepth int) (float64, error) {
+	rig, err := ssd.Build(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer rig.Close()
+
+	// Working set: enough pages that sequential reads touch every LUN
+	// continuously, small enough to preload instantly.
+	working := 32 * cfg.Ways
+	if working > rig.FTL.LogicalPages() {
+		working = rig.FTL.LogicalPages()
+	}
+	if err := rig.SSD.Preload(working); err != nil {
+		return 0, err
+	}
+	res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+		Pattern: pattern, Kind: hic.KindRead,
+		NumOps: ops, QueueDepth: queueDepth, LogicalPages: working, Seed: 7,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rig.Kernel.Run()
+	if res.Completed != ops {
+		return 0, fmt.Errorf("exp: only %d of %d ops completed", res.Completed, ops)
+	}
+	if res.Failed != 0 {
+		return 0, fmt.Errorf("exp: %d ops failed", res.Failed)
+	}
+	return res.BandwidthMBps(cfg.Params.Geometry.PageBytes), nil
+}
+
+// channelCeilingMBps is the ideal data-only channel bandwidth at a given
+// rate, used for context lines in reports.
+func channelCeilingMBps(rateMT int) float64 {
+	return float64(rateMT) // 1 byte per transfer: N MT/s = N MB/s
+}
+
+// table renders rows with a header, aligning columns on tabs.
+func table(header string, rows []string) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(header)))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pct formats a relative difference versus a baseline.
+func pct(v, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (v-base)/base*100)
+}
+
+// us formats a duration in microseconds.
+func us(d sim.Duration) string {
+	return fmt.Sprintf("%.1fus", d.Micros())
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+	"repro/internal/onfi"
+)
+
+// Table1Row is one parameter line of Table I.
+type Table1Row struct {
+	Parameter string
+	Value     string
+}
+
+// Table1 reproduces Table I (Flash Memory Parameters): the page read
+// times of the three packages, the page size, and the page transfer
+// times at the two channel rates. The read times come from the package
+// presets; the transfer times are computed from the bus model, which is
+// the measurement the paper's row actually reflects.
+func Table1() []Table1Row {
+	rows := []Table1Row{}
+	for _, p := range nand.Presets() {
+		rows = append(rows, Table1Row{
+			Parameter: fmt.Sprintf("Page read time (%s)", p.Name),
+			Value:     us(p.TR),
+		})
+	}
+	geo := nand.Hynix().Geometry
+	rows = append(rows, Table1Row{"Page read size", fmt.Sprintf("%d B", geo.PageBytes)})
+	tm := onfi.DefaultTiming()
+	for _, rate := range []int{100, 200} {
+		cfg := onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: rate}
+		// A full page transfer includes the column-change latch burst,
+		// the command-to-data gap, and the DQS-framed burst.
+		d := tm.LatchSegment(4) + tm.TWHR + tm.DataSegment(cfg, geo.PageBytes)
+		rows = append(rows, Table1Row{
+			Parameter: fmt.Sprintf("Page transfer time (%d MT/s)", rate),
+			Value:     us(d),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats Table I.
+func RenderTable1() string {
+	var rows []string
+	for _, r := range Table1() {
+		rows = append(rows, fmt.Sprintf("%-32s %s", r.Parameter, r.Value))
+	}
+	return table("Table I: Flash Memory Parameters", rows)
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+)
+
+// Table3Row is one controller's resource estimate next to the paper's
+// synthesis result.
+type Table3Row struct {
+	Controller string
+	Model      area.Resources
+	Paper      area.Resources
+}
+
+// Table3 reproduces Table III (FPGA resources per controller type) via
+// the structural area model — the documented substitution for Vivado
+// synthesis. The inventories describe an 8-LUN channel, matching the
+// Hynix/Toshiba wiring the paper synthesizes for.
+func Table3() []Table3Row {
+	paper := area.PaperTableIII()
+	invs := []area.Inventory{area.SyncHW(8), area.AsyncHW(8), area.Babol()}
+	rows := make([]Table3Row, 0, len(invs))
+	for _, inv := range invs {
+		rows = append(rows, Table3Row{
+			Controller: inv.Name,
+			Model:      area.Estimate(inv),
+			Paper:      paper[inv.Name],
+		})
+	}
+	return rows
+}
+
+// RenderTable3 formats Table III.
+func RenderTable3() string {
+	out := []string{fmt.Sprintf("%-28s %8s %8s %8s | %8s %8s %8s",
+		"", "LUT", "FF", "BRAM", "LUT(ppr)", "FF(ppr)", "BRAM(ppr)")}
+	for _, r := range Table3() {
+		out = append(out, fmt.Sprintf("%-28s %8d %8d %8.1f | %8d %8d %8.1f",
+			r.Controller, r.Model.LUT, r.Model.FF, r.Model.BRAM,
+			r.Paper.LUT, r.Paper.FF, r.Paper.BRAM))
+	}
+	return table("Table III: FPGA resources per controller (area model vs paper)", out)
+}

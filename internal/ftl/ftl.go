@@ -1,0 +1,493 @@
+// Package ftl implements a page-level Flash Translation Layer for one
+// channel: logical-to-physical mapping, a striped write allocator that
+// spreads load across the channel's chips, greedy garbage collection,
+// and wear accounting.
+//
+// The FTL is a pure policy module: it decides *where* pages live and
+// *what* to move, while the SSD assembly (internal/ssd) executes the
+// resulting flash operations through a controller. That separation
+// mirrors Figure 1, where the FTL requests page- and block-level
+// operations that the Storage Controller implements.
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/onfi"
+)
+
+// Location is a physical page address on the channel.
+type Location struct {
+	Chip int
+	Row  onfi.RowAddr
+}
+
+// invalidLPN marks a physical page holding no live logical page.
+const invalidLPN = -1
+
+// blockState tracks one physical block.
+type blockState struct {
+	nextPage int   // write frontier within the block
+	valid    int   // live pages
+	lpns     []int // reverse map: page → LPN (or invalidLPN)
+	sealed   bool  // fully written
+	bad      bool  // retired: never allocated or collected again
+}
+
+// chipState tracks allocation on one chip. Host and GC writes use
+// separate active blocks ("streams"): GC must always be able to relocate
+// a victim's live pages, so the host may never consume the space GC
+// opened for itself.
+type chipState struct {
+	blocks    []blockState
+	freeList  []int // erased blocks available for allocation
+	active    int   // block accepting host writes (-1 none)
+	activeGC  int   // block accepting GC relocations (-1 none)
+	erases    int
+	livePages int
+	wear      []int // per-block erase counts (FTL's own view)
+}
+
+// FTL maps logical pages onto a channel of identical chips.
+type FTL struct {
+	geo      onfi.Geometry
+	chips    int
+	reserved int // blocks per chip kept free for GC (over-provisioning)
+
+	l2p      []Location // LPN → location
+	mapped   []bool
+	chipRR   int // round-robin write-striping cursor
+	chipsArr []chipState
+
+	stats Stats
+}
+
+// Stats counts FTL activity.
+type Stats struct {
+	HostWrites  uint64 // logical page writes accepted
+	FlashWrites uint64 // physical page programs issued (host + GC)
+	GCMoves     uint64 // live pages relocated by GC
+	GCErases    uint64
+	BadBlocks   uint64 // blocks retired after program/erase failures
+}
+
+// WriteAmplification reports flash writes per host write.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.FlashWrites) / float64(s.HostWrites)
+}
+
+// New builds an FTL over `chips` identical chips with the given geometry.
+// reservedBlocks per chip are withheld from the logical capacity as GC
+// headroom (over-provisioning); at least one is required.
+func New(geo onfi.Geometry, chips, reservedBlocks int) (*FTL, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if chips <= 0 {
+		return nil, fmt.Errorf("ftl: need at least one chip, got %d", chips)
+	}
+	if reservedBlocks < 1 || reservedBlocks >= geo.BlocksPerLUN {
+		return nil, fmt.Errorf("ftl: reserved blocks %d out of range [1,%d)", reservedBlocks, geo.BlocksPerLUN)
+	}
+	f := &FTL{geo: geo, chips: chips, reserved: reservedBlocks}
+	logical := f.LogicalPages()
+	f.l2p = make([]Location, logical)
+	f.mapped = make([]bool, logical)
+	f.chipsArr = make([]chipState, chips)
+	for c := range f.chipsArr {
+		cs := &f.chipsArr[c]
+		cs.blocks = make([]blockState, geo.BlocksPerLUN)
+		cs.wear = make([]int, geo.BlocksPerLUN)
+		cs.active = -1
+		cs.activeGC = -1
+		for b := range cs.blocks {
+			cs.blocks[b].lpns = newLPNSlice(geo.PagesPerBlk)
+			cs.freeList = append(cs.freeList, b)
+		}
+	}
+	return f, nil
+}
+
+func newLPNSlice(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = invalidLPN
+	}
+	return s
+}
+
+// LogicalPages reports the exported logical capacity in pages.
+func (f *FTL) LogicalPages() int {
+	return f.chips * (f.geo.BlocksPerLUN - f.reserved) * f.geo.PagesPerBlk
+}
+
+// Geometry returns the per-chip geometry.
+func (f *FTL) Geometry() onfi.Geometry { return f.geo }
+
+// Chips reports the channel width the FTL manages.
+func (f *FTL) Chips() int { return f.chips }
+
+// Stats returns a snapshot of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Lookup translates a logical page number. ok is false for never-written
+// pages.
+func (f *FTL) Lookup(lpn int) (Location, bool) {
+	if lpn < 0 || lpn >= len(f.l2p) {
+		return Location{}, false
+	}
+	return f.l2p[lpn], f.mapped[lpn]
+}
+
+// AllocateWrite assigns the next physical page for a host write of lpn,
+// invalidating any previous mapping, and returns where to program. The
+// caller must then actually program the page and, on success, keep the
+// mapping (on program failure call Invalidate and retry).
+func (f *FTL) AllocateWrite(lpn int) (Location, error) {
+	loc, err := f.allocate(lpn, false)
+	if err != nil {
+		return loc, err
+	}
+	f.stats.HostWrites++
+	f.stats.FlashWrites++
+	return loc, nil
+}
+
+// allocate places lpn on some chip. Host allocations (gc=false) must
+// leave one free block per chip untouched as GC headroom: garbage
+// collection needs somewhere to relocate live pages, and granting the
+// host the last block would deadlock a full drive.
+func (f *FTL) allocate(lpn int, gc bool) (Location, error) {
+	if lpn < 0 || lpn >= len(f.l2p) {
+		return Location{}, fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, len(f.l2p))
+	}
+	// Find a chip with space first: a failed write must leave any
+	// existing mapping (and its data) intact.
+	chip := -1
+	for try := 0; try < f.chips; try++ {
+		c := (f.chipRR + try) % f.chips
+		if f.hasSpace(&f.chipsArr[c], gc) {
+			chip = c
+			break
+		}
+	}
+	if chip < 0 {
+		return Location{}, fmt.Errorf("ftl: out of space (GC required on all chips)")
+	}
+	// Drop the stale copy, then place the new one (striping round-robin).
+	if f.mapped[lpn] {
+		f.invalidate(f.l2p[lpn])
+		f.mapped[lpn] = false
+	}
+	loc, ok := f.allocateOn(chip, &f.chipsArr[chip], lpn, gc)
+	if !ok {
+		return Location{}, fmt.Errorf("ftl: chip %d lost its space mid-allocation", chip)
+	}
+	f.chipRR = (chip + 1) % f.chips
+	return loc, nil
+}
+
+// hasSpace reports whether a chip can accept one more page write in the
+// given stream under the GC-headroom rule: the host may never open the
+// last free block.
+func (f *FTL) hasSpace(cs *chipState, gc bool) bool {
+	if gc {
+		return cs.activeGC >= 0 || len(cs.freeList) > 0
+	}
+	return cs.active >= 0 || len(cs.freeList) > 1
+}
+
+func (f *FTL) allocateOn(chip int, cs *chipState, lpn int, gc bool) (Location, bool) {
+	stream := &cs.active
+	if gc {
+		stream = &cs.activeGC
+	}
+	if *stream < 0 {
+		if !f.hasSpace(cs, gc) {
+			return Location{}, false
+		}
+		// Wear-aware allocation: open the least-worn free block, so
+		// erase cycles spread evenly instead of hammering whichever
+		// block happens to sit at the list head (dynamic wear leveling).
+		pick := 0
+		for i := 1; i < len(cs.freeList); i++ {
+			if cs.wear[cs.freeList[i]] < cs.wear[cs.freeList[pick]] {
+				pick = i
+			}
+		}
+		*stream = cs.freeList[pick]
+		cs.freeList = append(cs.freeList[:pick], cs.freeList[pick+1:]...)
+	}
+	blk := &cs.blocks[*stream]
+	row := onfi.RowAddr{Block: *stream, Page: blk.nextPage}
+	blk.lpns[blk.nextPage] = lpn
+	blk.valid++
+	blk.nextPage++
+	cs.livePages++
+	if blk.nextPage == f.geo.PagesPerBlk {
+		blk.sealed = true
+		*stream = -1
+	}
+	loc := Location{Chip: chip, Row: row}
+	f.l2p[lpn] = loc
+	f.mapped[lpn] = true
+	return loc, true
+}
+
+// Invalidate drops a logical page's mapping (host TRIM, or a failed
+// program whose mapping must not survive).
+func (f *FTL) Invalidate(lpn int) {
+	if lpn < 0 || lpn >= len(f.l2p) || !f.mapped[lpn] {
+		return
+	}
+	f.invalidate(f.l2p[lpn])
+	f.mapped[lpn] = false
+}
+
+func (f *FTL) invalidate(loc Location) {
+	cs := &f.chipsArr[loc.Chip]
+	blk := &cs.blocks[loc.Row.Block]
+	if blk.lpns[loc.Row.Page] != invalidLPN {
+		blk.lpns[loc.Row.Page] = invalidLPN
+		blk.valid--
+		cs.livePages--
+	}
+}
+
+// FreeBlocks reports erased blocks available on a chip.
+func (f *FTL) FreeBlocks(chip int) int {
+	return len(f.chipsArr[chip].freeList)
+}
+
+// NeedsGC reports whether a chip has run low on free blocks (at or below
+// the reserved watermark).
+func (f *FTL) NeedsGC(chip int) bool {
+	cs := &f.chipsArr[chip]
+	free := len(cs.freeList)
+	if cs.active >= 0 {
+		free++
+	}
+	return free <= f.reserved
+}
+
+// GCCandidate picks the sealed block with the fewest live pages on a
+// chip (greedy policy) and returns its live logical pages. ok is false
+// when no sealed block exists.
+func (f *FTL) GCCandidate(chip int) (block int, liveLPNs []int, ok bool) {
+	cs := &f.chipsArr[chip]
+	best, bestValid := -1, int(^uint(0)>>1)
+	for b := range cs.blocks {
+		blk := &cs.blocks[b]
+		if !blk.sealed || blk.bad {
+			continue
+		}
+		if blk.valid < bestValid {
+			best, bestValid = b, blk.valid
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	blk := &cs.blocks[best]
+	for p, lpn := range blk.lpns {
+		_ = p
+		if lpn != invalidLPN {
+			liveLPNs = append(liveLPNs, lpn)
+		}
+	}
+	return best, liveLPNs, true
+}
+
+// RelocateForGC re-allocates a live page during GC: it assigns a new
+// physical page for lpn (counting a flash write but not a host write)
+// and returns the destination. The caller copies the data and erases the
+// victim afterwards.
+func (f *FTL) RelocateForGC(lpn int) (Location, error) {
+	loc, err := f.allocate(lpn, true)
+	if err != nil {
+		return loc, err
+	}
+	f.stats.FlashWrites++
+	f.stats.GCMoves++
+	return loc, nil
+}
+
+// RelocateForGCOn is RelocateForGC pinned to one chip, for relocation
+// mechanisms that cannot cross chips (NAND copyback moves data inside a
+// single LUN). It fails only if the chip's GC stream is out of space,
+// which the headroom rule prevents.
+func (f *FTL) RelocateForGCOn(chip, lpn int) (Location, error) {
+	if chip < 0 || chip >= f.chips {
+		return Location{}, fmt.Errorf("ftl: chip %d out of range", chip)
+	}
+	if lpn < 0 || lpn >= len(f.l2p) {
+		return Location{}, fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, len(f.l2p))
+	}
+	cs := &f.chipsArr[chip]
+	if !f.hasSpace(cs, true) {
+		return Location{}, fmt.Errorf("ftl: chip %d GC stream out of space", chip)
+	}
+	if f.mapped[lpn] {
+		f.invalidate(f.l2p[lpn])
+		f.mapped[lpn] = false
+	}
+	loc, ok := f.allocateOn(chip, cs, lpn, true)
+	if !ok {
+		return Location{}, fmt.Errorf("ftl: chip %d lost GC space mid-allocation", chip)
+	}
+	f.stats.FlashWrites++
+	f.stats.GCMoves++
+	return loc, nil
+}
+
+// RetireBlock permanently removes a block from service after the media
+// reported a program or erase failure (grown bad block). Live pages the
+// caller could not relocate must be invalidated separately; the block is
+// dropped from the free list and from both write streams and will never
+// be selected again.
+func (f *FTL) RetireBlock(chip, block int) {
+	if chip < 0 || chip >= f.chips {
+		return
+	}
+	cs := &f.chipsArr[chip]
+	if block < 0 || block >= len(cs.blocks) || cs.blocks[block].bad {
+		return
+	}
+	blk := &cs.blocks[block]
+	blk.bad = true
+	blk.sealed = true
+	f.stats.BadBlocks++
+	for i, b := range cs.freeList {
+		if b == block {
+			cs.freeList = append(cs.freeList[:i], cs.freeList[i+1:]...)
+			break
+		}
+	}
+	if cs.active == block {
+		cs.active = -1
+	}
+	if cs.activeGC == block {
+		cs.activeGC = -1
+	}
+}
+
+// ForceSealGC closes a chip's partially written GC-stream block so it
+// becomes a collection candidate, wasting its unwritten pages. FTLs do
+// this when the drive wedges with all garbage trapped in the open GC
+// block: relocated pages that the host has since overwritten are dead,
+// but an unsealed block can never be picked as a victim. Reports whether
+// a block was sealed.
+func (f *FTL) ForceSealGC(chip int) bool {
+	if chip < 0 || chip >= f.chips {
+		return false
+	}
+	cs := &f.chipsArr[chip]
+	if cs.activeGC < 0 {
+		return false
+	}
+	cs.blocks[cs.activeGC].sealed = true
+	cs.activeGC = -1
+	return true
+}
+
+// OnErased returns a block to a chip's free pool after the physical
+// erase completed. Erasing a block that still holds live pages is a
+// caller bug and panics.
+func (f *FTL) OnErased(chip, block int) {
+	cs := &f.chipsArr[chip]
+	blk := &cs.blocks[block]
+	if blk.valid != 0 {
+		panic(fmt.Sprintf("ftl: erasing block %d on chip %d with %d live pages", block, chip, blk.valid))
+	}
+	for i := range blk.lpns {
+		blk.lpns[i] = invalidLPN
+	}
+	blk.nextPage = 0
+	blk.sealed = false
+	cs.erases++
+	cs.wear[block]++
+	cs.freeList = append(cs.freeList, block)
+	f.stats.GCErases++
+}
+
+// WearSpread reports max−min erase counts across a chip's healthy
+// blocks — the metric dynamic wear leveling bounds.
+func (f *FTL) WearSpread(chip int) int {
+	if chip < 0 || chip >= f.chips {
+		return 0
+	}
+	cs := &f.chipsArr[chip]
+	min, max, seen := 0, 0, false
+	for b := range cs.blocks {
+		if cs.blocks[b].bad {
+			continue
+		}
+		w := cs.wear[b]
+		if !seen {
+			min, max, seen = w, w, true
+			continue
+		}
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	return max - min
+}
+
+// BlockWear reports the FTL-tracked erase count of one block.
+func (f *FTL) BlockWear(chip, block int) int {
+	if chip < 0 || chip >= f.chips {
+		return 0
+	}
+	cs := &f.chipsArr[chip]
+	if block < 0 || block >= len(cs.wear) {
+		return 0
+	}
+	return cs.wear[block]
+}
+
+// LivePages reports mapped logical pages on a chip.
+func (f *FTL) LivePages(chip int) int { return f.chipsArr[chip].livePages }
+
+// CheckInvariants verifies the bidirectional mapping consistency. Tests
+// and the property suite call it after mutation storms.
+func (f *FTL) CheckInvariants() error {
+	// Every mapped LPN's location must point back at it.
+	for lpn, ok := range f.mapped {
+		if !ok {
+			continue
+		}
+		loc := f.l2p[lpn]
+		blk := &f.chipsArr[loc.Chip].blocks[loc.Row.Block]
+		if got := blk.lpns[loc.Row.Page]; got != lpn {
+			return fmt.Errorf("ftl: L2P says LPN %d at %+v but reverse map says %d", lpn, loc, got)
+		}
+	}
+	// Valid counters must match the reverse maps.
+	for c := range f.chipsArr {
+		cs := &f.chipsArr[c]
+		live := 0
+		for b := range cs.blocks {
+			n := 0
+			for _, lpn := range cs.blocks[b].lpns {
+				if lpn != invalidLPN {
+					n++
+				}
+			}
+			if n != cs.blocks[b].valid {
+				return fmt.Errorf("ftl: chip %d block %d valid=%d but reverse map has %d", c, b, cs.blocks[b].valid, n)
+			}
+			live += n
+		}
+		if live != cs.livePages {
+			return fmt.Errorf("ftl: chip %d livePages=%d but blocks hold %d", c, cs.livePages, live)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package hic models the host side of the SSD: an NVMe-like command
+// interface and a fio-style workload generator that keeps a fixed queue
+// depth of logical page reads/writes outstanding, measuring bandwidth
+// and latency — the instrument behind the paper's Figure 12.
+package hic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind is a host command type.
+type Kind uint8
+
+const (
+	// KindRead reads one logical page.
+	KindRead Kind = iota
+	// KindWrite writes one logical page.
+	KindWrite
+)
+
+func (k Kind) String() string {
+	if k == KindRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Command is one host request for a logical page.
+type Command struct {
+	Kind Kind
+	LPN  int
+	// Done is invoked at completion.
+	Done func(error)
+}
+
+// Submitter accepts host commands; the SSD assembly implements it.
+type Submitter interface {
+	Submit(Command)
+}
+
+// Pattern selects the generator's address sequence.
+type Pattern uint8
+
+const (
+	// Sequential issues LPNs 0,1,2,… (wrapping at the logical size).
+	Sequential Pattern = iota
+	// Random issues uniformly random LPNs.
+	Random
+)
+
+func (p Pattern) String() string {
+	if p == Sequential {
+		return "sequential"
+	}
+	return "random"
+}
+
+// Workload describes one fio-like run.
+type Workload struct {
+	Pattern    Pattern
+	Kind       Kind
+	NumOps     int // total commands to issue
+	QueueDepth int // outstanding commands
+	// ReadPercent mixes the command stream: that percentage of commands
+	// are reads, the rest writes (fio's rwmixread). Zero keeps the pure
+	// Kind workload.
+	ReadPercent  int
+	LogicalPages int   // address-space size in pages
+	Seed         int64 // RNG seed for Random
+}
+
+// Validate checks the workload description.
+func (w Workload) Validate() error {
+	if w.NumOps <= 0 {
+		return fmt.Errorf("hic: NumOps must be positive, got %d", w.NumOps)
+	}
+	if w.QueueDepth <= 0 {
+		return fmt.Errorf("hic: QueueDepth must be positive, got %d", w.QueueDepth)
+	}
+	if w.LogicalPages <= 0 {
+		return fmt.Errorf("hic: LogicalPages must be positive, got %d", w.LogicalPages)
+	}
+	if w.ReadPercent < 0 || w.ReadPercent > 100 {
+		return fmt.Errorf("hic: ReadPercent %d out of [0,100]", w.ReadPercent)
+	}
+	return nil
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Completed int
+	Failed    int
+	Start     sim.Time
+	End       sim.Time
+	latencies []sim.Duration
+}
+
+// Elapsed is the wall (virtual) time of the run.
+func (r *Result) Elapsed() sim.Duration { return r.End.Sub(r.Start) }
+
+// BandwidthMBps reports throughput in MB/s for the given page size.
+func (r *Result) BandwidthMBps(pageBytes int) float64 {
+	secs := r.Elapsed().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Completed) * float64(pageBytes) / 1e6 / secs
+}
+
+// IOPS reports completed commands per second.
+func (r *Result) IOPS() float64 {
+	secs := r.Elapsed().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / secs
+}
+
+// LatencyPercentile returns the p-th percentile completion latency
+// (0 < p ≤ 100).
+func (r *Result) LatencyPercentile(p float64) sim.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Duration(nil), r.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MeanLatency reports the average completion latency.
+func (r *Result) MeanLatency() sim.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, l := range r.latencies {
+		sum += l
+	}
+	return sum / sim.Duration(len(r.latencies))
+}
+
+// Run drives the workload against sub on kernel k and returns the result
+// once the caller runs the kernel to completion. The returned Result is
+// only fully populated after every command finished (check Completed).
+func Run(k *sim.Kernel, sub Submitter, w Workload) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Start: k.Now()}
+	rng := rand.New(rand.NewSource(w.Seed))
+	next := 0
+	issued := 0
+
+	nextLPN := func() int {
+		if w.Pattern == Sequential {
+			lpn := next % w.LogicalPages
+			next++
+			return lpn
+		}
+		return rng.Intn(w.LogicalPages)
+	}
+
+	nextKind := func() Kind {
+		if w.ReadPercent == 0 {
+			return w.Kind
+		}
+		if rng.Intn(100) < w.ReadPercent {
+			return KindRead
+		}
+		return KindWrite
+	}
+
+	var issue func()
+	issue = func() {
+		if issued >= w.NumOps {
+			return
+		}
+		issued++
+		submitted := k.Now()
+		sub.Submit(Command{
+			Kind: nextKind(),
+			LPN:  nextLPN(),
+			Done: func(err error) {
+				res.Completed++
+				if err != nil {
+					res.Failed++
+				}
+				res.latencies = append(res.latencies, k.Now().Sub(submitted))
+				res.End = k.Now()
+				issue() // keep the queue full
+			},
+		})
+	}
+	depth := w.QueueDepth
+	if depth > w.NumOps {
+		depth = w.NumOps
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package hic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Trace replay: instead of a synthetic pattern, drive the SSD with a
+// recorded host trace — one command per line:
+//
+//	# comment lines and blanks are ignored
+//	<arrival_us> <read|write> <lpn>
+//
+// Arrival times are virtual microseconds from replay start and must be
+// non-decreasing. Commands are submitted at their arrival instant
+// regardless of completion of earlier ones (open-loop replay, like
+// fio --read_iolog), so queue buildup under overload is visible in the
+// latency distribution.
+
+// TraceEntry is one parsed trace line.
+type TraceEntry struct {
+	At   sim.Duration // arrival, relative to replay start
+	Kind Kind
+	LPN  int
+}
+
+// ParseTrace reads the text trace format.
+func ParseTrace(r io.Reader) ([]TraceEntry, error) {
+	var out []TraceEntry
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var last sim.Duration
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("hic: trace line %d: want `<us> <read|write> <lpn>`, got %q", lineNo, line)
+		}
+		us, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || us < 0 {
+			return nil, fmt.Errorf("hic: trace line %d: bad arrival %q", lineNo, fields[0])
+		}
+		at := sim.Duration(us * float64(sim.Microsecond))
+		if at < last {
+			return nil, fmt.Errorf("hic: trace line %d: arrivals must be non-decreasing", lineNo)
+		}
+		last = at
+		var kind Kind
+		switch fields[1] {
+		case "read", "r":
+			kind = KindRead
+		case "write", "w":
+			kind = KindWrite
+		default:
+			return nil, fmt.Errorf("hic: trace line %d: bad op %q", lineNo, fields[1])
+		}
+		lpn, err := strconv.Atoi(fields[2])
+		if err != nil || lpn < 0 {
+			return nil, fmt.Errorf("hic: trace line %d: bad LPN %q", lineNo, fields[2])
+		}
+		out = append(out, TraceEntry{At: at, Kind: kind, LPN: lpn})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hic: trace has no commands")
+	}
+	return out, nil
+}
+
+// ReplayTrace schedules every entry's submission at its arrival time and
+// returns the aggregate result (populated once the caller runs the
+// kernel to completion).
+func ReplayTrace(k *sim.Kernel, sub Submitter, entries []TraceEntry) (*Result, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("hic: empty trace")
+	}
+	res := &Result{Start: k.Now()}
+	for _, e := range entries {
+		e := e
+		k.After(e.At, func() {
+			submitted := k.Now()
+			sub.Submit(Command{
+				Kind: e.Kind,
+				LPN:  e.LPN,
+				Done: func(err error) {
+					res.Completed++
+					if err != nil {
+						res.Failed++
+					}
+					res.latencies = append(res.latencies, k.Now().Sub(submitted))
+					res.End = k.Now()
+				},
+			})
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `package sample
+
+// Doc comment does not count.
+func Small() int {
+	// inner comment
+	x := 1
+
+	/* block
+	   comment */
+	return x
+}
+
+func WithSwitch(state int) int {
+	switch state {
+	case stReadOne:
+		a := 1
+		return a
+	case stReadTwo, stOther:
+		return 2
+	case stProgOne:
+		return 3
+	}
+	return 0
+}
+
+const (
+	stReadOne = iota
+	stReadTwo
+	stProgOne
+	stOther
+)
+`
+
+func writeSample(t *testing.T) *File {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.go")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFuncLines(t *testing.T) {
+	f := writeSample(t)
+	// Small: signature, x := 1, return x, closing brace = 4 code lines.
+	n, err := f.FuncLines("Small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Small = %d lines, want 4", n)
+	}
+	if _, err := f.FuncLines("Missing"); err == nil {
+		t.Error("missing function found")
+	}
+}
+
+func TestFuncsLines(t *testing.T) {
+	f := writeSample(t)
+	a, _ := f.FuncLines("Small")
+	b, _ := f.FuncLines("WithSwitch")
+	sum, err := f.FuncsLines("Small", "WithSwitch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != a+b {
+		t.Errorf("sum = %d, want %d", sum, a+b)
+	}
+	if _, err := f.FuncsLines("Small", "Missing"); err == nil {
+		t.Error("missing function in sum found")
+	}
+}
+
+func TestCaseLines(t *testing.T) {
+	f := writeSample(t)
+	read, err := f.CaseLines("WithSwitch", "stRead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// case stReadOne (3 lines incl. case) + case stReadTwo (2 lines).
+	if read != 5 {
+		t.Errorf("stRead cases = %d lines, want 5", read)
+	}
+	prog, err := f.CaseLines("WithSwitch", "stProg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != 2 {
+		t.Errorf("stProg cases = %d lines, want 2", prog)
+	}
+	if _, err := f.CaseLines("Missing", "st"); err == nil {
+		t.Error("missing function found")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("/nonexistent/file.go"); err == nil {
+		t.Error("missing file parsed")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.go")
+	os.WriteFile(bad, []byte("not go at all {"), 0o644)
+	if _, err := Parse(bad); err == nil {
+		t.Error("invalid Go parsed")
+	}
+}
+
+func TestFindRepoRoot(t *testing.T) {
+	root, err := FindRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("root %s has no go.mod", root)
+	}
+}
+
+// TestRealSourcesCount sanity-checks the Table II inputs: BABOL's READ
+// operation must be dramatically shorter than the hardware FSM's READ
+// states plus shared machinery.
+func TestRealSourcesCount(t *testing.T) {
+	root, err := FindRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsFile, err := Parse(filepath.Join(root, "internal/ops/ops.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	babolRead, err := opsFile.FuncsLines("ReadPage", "pollReady", "ReadStatus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsmFile, err := Parse(filepath.Join(root, "internal/hwctrl/fsm.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRead, err := fsmFile.CaseLines("busStep", "stRead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwShared, err := fsmFile.FuncsLines("loadNext", "fail", "complete", "waitRB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if babolRead <= 0 || hwRead <= 0 || hwShared <= 0 {
+		t.Fatalf("counts: babol=%d hw=%d shared=%d", babolRead, hwRead, hwShared)
+	}
+	if babolRead >= hwRead+hwShared {
+		t.Errorf("BABOL READ (%d) should be smaller than HW READ (%d+%d)", babolRead, hwRead, hwShared)
+	}
+}

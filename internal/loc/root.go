@@ -1,0 +1,27 @@
+package loc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FindRepoRoot walks up from the working directory to the module root
+// (the directory holding go.mod), so experiments can locate the sources
+// they count regardless of which package directory invoked them.
+func FindRepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loc: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

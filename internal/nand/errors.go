@@ -1,0 +1,143 @@
+package nand
+
+import (
+	"hash/fnv"
+
+	"repro/internal/onfi"
+)
+
+// Bit-error injection.
+//
+// Real NAND develops raw bit errors as blocks wear and cells drift from
+// their programmed voltage. The model injects a deterministic number of
+// bit flips per 512-B codeword that grows linearly with block wear and
+// with the distance between the package's current read-retry voltage
+// level and the page's (deterministic, address-derived) optimal level.
+// Fresh blocks read back clean, so performance experiments see no error
+// noise; reliability experiments pre-age blocks with Wear.
+
+const codewordBytes = 512
+
+// injectErrors flips bits in buf in place according to the wear of row's
+// block and the current read voltage.
+func (l *LUN) injectErrors(row uint32, buf []byte) {
+	block := int(row) / l.geo.PagesPerBlk
+	wear := l.eraseCount[block]
+	if wear == 0 || l.params.RawBitErrorPer512B == 0 {
+		return
+	}
+	mismatch := l.retryMismatch(row)
+	if mismatch == 0 && l.params.ReadRetryLevels > 0 {
+		// At the page's optimal read voltage the drifted cells resolve
+		// cleanly; errors come from reading worn cells at the wrong
+		// threshold. (Packages without retry support always read at
+		// mismatch 1: there is no per-page optimum to hit.)
+		return
+	}
+	if l.params.ReadRetryLevels == 0 {
+		mismatch = 1
+	}
+	// Expected errors per codeword grow with block wear and with the
+	// distance from the optimal voltage level.
+	frac := float64(wear) / float64(l.params.MaxPECycles)
+	perCW := l.params.RawBitErrorPer512B * frac * float64(mismatch)
+	cws := (len(buf) + codewordBytes - 1) / codewordBytes
+	for cw := 0; cw < cws; cw++ {
+		n := deterministicCount(row, uint32(cw), uint32(wear), perCW)
+		for e := 0; e < n; e++ {
+			bit := deterministicBit(row, uint32(cw), uint32(e))
+			byteIdx := cw*codewordBytes + int(bit/8)
+			if byteIdx >= len(buf) {
+				continue
+			}
+			buf[byteIdx] ^= 1 << (bit % 8)
+			l.stats.InjectedBitErrors++
+		}
+	}
+}
+
+// retryMismatch reports how far the current read-retry level is from the
+// page's optimal one.
+func (l *LUN) retryMismatch(row uint32) int {
+	if l.params.ReadRetryLevels == 0 {
+		return 0
+	}
+	cur := int(l.features[onfi.FeatReadRetry][0])
+	opt := l.OptimalRetryLevel(row)
+	d := cur - opt
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// OptimalRetryLevel reports the read-retry voltage level at which row
+// reads back with the fewest errors. It is derived deterministically from
+// the address, standing in for the physical cell-drift a vendor's retry
+// table compensates.
+func (l *LUN) OptimalRetryLevel(row uint32) int {
+	if l.params.ReadRetryLevels == 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte{byte(row), byte(row >> 8), byte(row >> 16), 0x9E})
+	return int(h.Sum32()) % l.params.ReadRetryLevels
+}
+
+// deterministicCount converts an expected value into an integer count that
+// varies by (row, codeword, wear) but averages near expect.
+func deterministicCount(row, cw, wear uint32, expect float64) int {
+	if expect <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte{
+		byte(row), byte(row >> 8), byte(row >> 16),
+		byte(cw), byte(wear), byte(wear >> 8),
+	})
+	// frac in [0, 1): decides whether to round up.
+	frac := float64(h.Sum32()%1000) / 1000.0
+	n := int(expect)
+	if frac < expect-float64(n) {
+		n++
+	}
+	return n
+}
+
+// deterministicBit picks the e-th flipped bit position within a codeword.
+func deterministicBit(row, cw, e uint32) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte{
+		byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24),
+		byte(cw), byte(e), 0x5F,
+	})
+	return h.Sum32() % (codewordBytes * 8)
+}
+
+// Wear artificially ages a block to the given erase count. It is intended
+// for reliability experiments and tests.
+func (l *LUN) Wear(block, cycles int) {
+	if block >= 0 && block < len(l.eraseCount) {
+		l.eraseCount[block] = cycles
+	}
+}
+
+// EraseCount reports a block's wear.
+func (l *LUN) EraseCount(block int) int {
+	if block < 0 || block >= len(l.eraseCount) {
+		return 0
+	}
+	return l.eraseCount[block]
+}
+
+// Bad reports whether a block has been retired.
+func (l *LUN) Bad(block int) bool {
+	return block >= 0 && block < len(l.bad) && l.bad[block]
+}
+
+// MarkBad retires a block (factory bad-block emulation).
+func (l *LUN) MarkBad(block int) {
+	if block >= 0 && block < len(l.bad) {
+		l.bad[block] = true
+	}
+}

@@ -1,0 +1,158 @@
+package nand
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// readPage drives a full READ through the protocol and returns the data.
+func readPage(t *testing.T, l *LUN, start sim.Time, row onfi.RowAddr, n int) []byte {
+	t.Helper()
+	latchRead(t, l, start, onfi.Addr{Row: row})
+	done := start.Add(2 * l.Params().TR) // jitter-safe margin
+	got, err := l.DataOut(done, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFreshBlocksReadClean(t *testing.T) {
+	l := newTestLUN(t)
+	row := onfi.RowAddr{Block: 0, Page: 0}
+	want := bytes.Repeat([]byte{0x55}, 64)
+	if err := l.SeedPage(row, want); err != nil {
+		t.Fatal(err)
+	}
+	got := readPage(t, l, 0, row, 64)
+	if !bytes.Equal(got, want) {
+		t.Error("fresh block read back with errors")
+	}
+	if l.Stats().InjectedBitErrors != 0 {
+		t.Error("errors injected into fresh block")
+	}
+}
+
+func TestWornBlocksInjectErrors(t *testing.T) {
+	p := smallParams()
+	p.RawBitErrorPer512B = 8 // aggressive, so small pages still see flips
+	l, err := NewLUN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a page whose optimal retry level differs from the default
+	// level 0, so reading at the default voltage sees drift errors.
+	row := onfi.RowAddr{Block: 1, Page: 0}
+	for p := 0; p < l.Params().Geometry.PagesPerBlk; p++ {
+		row.Page = p
+		if l.OptimalRetryLevel(l.rowIndex(row)) != 0 {
+			break
+		}
+	}
+	want := bytes.Repeat([]byte{0x55}, 256)
+	if err := l.SeedPage(row, want); err != nil {
+		t.Fatal(err)
+	}
+	l.Wear(1, p.MaxPECycles) // end of life
+	got := readPage(t, l, 0, row, 256)
+	if bytes.Equal(got, want) {
+		t.Error("end-of-life block read back clean")
+	}
+	if l.Stats().InjectedBitErrors == 0 {
+		t.Error("no injected errors counted")
+	}
+}
+
+func TestErrorInjectionDeterministic(t *testing.T) {
+	mk := func() []byte {
+		p := smallParams()
+		p.RawBitErrorPer512B = 8
+		l, _ := NewLUN(p)
+		row := onfi.RowAddr{Block: 1, Page: 0}
+		l.SeedPage(row, bytes.Repeat([]byte{0x55}, 256))
+		l.Wear(1, p.MaxPECycles)
+		return readPage(t, l, 0, row, 256)
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Error("error injection is not deterministic")
+	}
+}
+
+func TestReadRetryReducesErrors(t *testing.T) {
+	p := smallParams()
+	p.RawBitErrorPer512B = 16
+	l, err := NewLUN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := onfi.RowAddr{Block: 2, Page: 1}
+	want := bytes.Repeat([]byte{0x55}, 256)
+	if err := l.SeedPage(row, want); err != nil {
+		t.Fatal(err)
+	}
+	l.Wear(2, p.MaxPECycles/2)
+
+	countErrs := func(got []byte) int {
+		n := 0
+		for i := range got {
+			b := got[i] ^ want[i]
+			for ; b != 0; b &= b - 1 {
+				n++
+			}
+		}
+		return n
+	}
+
+	opt := l.OptimalRetryLevel(l.rowIndex(row))
+	// Pick a clearly wrong level.
+	wrong := (opt + p.ReadRetryLevels/2) % p.ReadRetryLevels
+
+	setLevel := func(now sim.Time, lvl int) sim.Time {
+		ls := []onfi.Latch{onfi.CmdLatch(onfi.CmdSetFeatures), onfi.AddrLatch(byte(onfi.FeatReadRetry))}
+		if err := l.Latch(now, ls); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.DataIn(now, []byte{byte(lvl), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		return now.Add(sim.Microsecond)
+	}
+
+	now := setLevel(0, wrong)
+	atWrong := countErrs(readPage(t, l, now, row, 256))
+	now = now.Add(2 * p.TR)
+	now = setLevel(now, opt)
+	atOpt := countErrs(readPage(t, l, now, row, 256))
+	if atOpt >= atWrong {
+		t.Errorf("read retry did not help: optimal level %d errors, wrong level %d errors", atOpt, atWrong)
+	}
+}
+
+func TestOptimalRetryLevelStable(t *testing.T) {
+	l := newTestLUN(t)
+	for row := uint32(0); row < 20; row++ {
+		a, b := l.OptimalRetryLevel(row), l.OptimalRetryLevel(row)
+		if a != b {
+			t.Fatal("optimal retry level unstable")
+		}
+		if a < 0 || a >= l.Params().ReadRetryLevels {
+			t.Fatalf("optimal retry level %d out of range", a)
+		}
+	}
+}
+
+func TestWearAccessors(t *testing.T) {
+	l := newTestLUN(t)
+	l.Wear(3, 42)
+	if l.EraseCount(3) != 42 {
+		t.Error("Wear did not apply")
+	}
+	l.Wear(-1, 5) // must not panic
+	l.Wear(1000, 5)
+	if l.EraseCount(-1) != 0 || l.EraseCount(1000) != 0 {
+		t.Error("out-of-range EraseCount should be zero")
+	}
+}

@@ -1,0 +1,105 @@
+package nand
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// TestLatchStormNeverPanics drives the LUN decoder with random latch
+// sequences, data bursts, and time jumps. Protocol errors are expected
+// and fine; panics, stuck-busy states, or corrupted bookkeeping are not.
+// This is the robustness property a real controller relies on: no
+// command sequence, however buggy the firmware, may wedge the model.
+func TestLatchStormNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		l, err := NewLUN(smallParams())
+		if err != nil {
+			return false
+		}
+		now := sim.Time(0)
+		interesting := []byte{
+			0x00, 0x30, 0x31, 0x3F, 0x05, 0xE0, 0x80, 0x85, 0x10, 0x15,
+			0x60, 0xD0, 0x70, 0x78, 0x90, 0xEC, 0xEF, 0xEE, 0xFF, 0xA2,
+			0x61, 0xD2, 0x35,
+		}
+		for i := 0; i < 400; i++ {
+			switch rng.Intn(5) {
+			case 0: // command latch
+				_ = l.Latch(now, []onfi.Latch{onfi.CmdLatch(onfi.Cmd(interesting[rng.Intn(len(interesting))]))})
+			case 1: // address latch burst
+				n := 1 + rng.Intn(6)
+				ls := make([]onfi.Latch, n)
+				for j := range ls {
+					ls[j] = onfi.AddrLatch(byte(rng.Intn(256)))
+				}
+				_ = l.Latch(now, ls)
+			case 2: // data in
+				buf := make([]byte, 1+rng.Intn(64))
+				_ = l.DataIn(now, buf)
+			case 3: // data out
+				_, _ = l.DataOut(now, 1+rng.Intn(64))
+			case 4: // time advances (lets busy states expire)
+				now = now.Add(sim.Duration(rng.Intn(int(l.Params().TBERS))))
+			}
+		}
+		// After the storm the LUN must still be recoverable by RESET.
+		now = now.Add(l.Params().TBERS)
+		if err := l.Latch(now, []onfi.Latch{onfi.CmdLatch(onfi.CmdReset)}); err != nil {
+			t.Logf("seed %d: reset rejected: %v", seed, err)
+			return false
+		}
+		now = now.Add(sim.Millisecond)
+		if !l.Ready(now) {
+			t.Logf("seed %d: not ready after reset", seed)
+			return false
+		}
+		// And a clean READ must still work end to end.
+		if err := l.SeedPage(onfi.RowAddr{Block: 1}, []byte{0x42}); err != nil {
+			return false
+		}
+		var latches []onfi.Latch
+		latches = append(latches, onfi.CmdLatch(onfi.CmdRead1))
+		latches = append(latches, l.Params().Geometry.AddrLatches(onfi.Addr{Row: onfi.RowAddr{Block: 1}})...)
+		latches = append(latches, onfi.CmdLatch(onfi.CmdRead2))
+		if err := l.Latch(now, latches); err != nil {
+			t.Logf("seed %d: post-reset read rejected: %v", seed, err)
+			return false
+		}
+		now = now.Add(2 * l.Params().TR)
+		data, err := l.DataOut(now, 1)
+		if err != nil {
+			t.Logf("seed %d: post-reset data out: %v", seed, err)
+			return false
+		}
+		return data[0] == 0x42
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParamPageParserNeverPanics feeds the parameter-page parser random
+// bytes: it must reject or accept, never crash.
+func TestParamPageParserNeverPanics(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(size)%600)
+		rng.Read(buf)
+		_, _ = ParseParameterPage(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

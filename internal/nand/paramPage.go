@@ -1,0 +1,134 @@
+package nand
+
+import "repro/internal/onfi"
+
+// The ONFI parameter page: a 256-byte self-description every compliant
+// package returns after READ PARAMETER PAGE (0xEC). BABOL's boot and
+// calibration flows read it to discover geometry and to verify data-path
+// integrity (a corrupted page fails its CRC, which is how phase
+// calibration scores a candidate setting).
+
+// ParamPageSize is the size of one parameter-page copy.
+const ParamPageSize = 256
+
+// Parameter-page field offsets (ONFI 5.1 §5.7, subset).
+const (
+	ppSignature    = 0  // "ONFI"
+	ppRevision     = 4  // supported revision bitfield
+	ppManufacturer = 32 // 12-byte ASCII manufacturer
+	ppModel        = 44 // 20-byte ASCII model
+	ppJEDECID      = 64
+	ppPageBytes    = 80 // uint32 data bytes per page
+	ppSpareBytes   = 84 // uint16 spare bytes per page
+	ppPagesPerBlk  = 92 // uint32
+	ppBlocksPerLUN = 96 // uint32
+	ppLUNCount     = 100
+	ppPlaneAddr    = 180 // bits 0-3: plane address bits (planes = 1<<n)
+	ppMaxPECycles  = 105 // nonstandard placement, documented: uint32 endurance
+	ppCRC          = 254 // ONFI CRC-16 over bytes 0..253
+)
+
+// buildParameterPage renders the package's parameter page.
+func buildParameterPage(p Params) []byte {
+	pg := make([]byte, ParamPageSize)
+	copy(pg[ppSignature:], "ONFI")
+	pg[ppRevision] = 0x3E // revisions 2.x-5.x
+	copy(pg[ppManufacturer:], padded(p.Name, 12))
+	copy(pg[ppModel:], padded(p.Name+"-SIM", 20))
+	if len(p.IDBytes) > 0 {
+		pg[ppJEDECID] = p.IDBytes[0]
+	}
+	put32(pg[ppPageBytes:], uint32(p.Geometry.PageBytes))
+	put16(pg[ppSpareBytes:], uint16(p.Geometry.SpareBytes))
+	put32(pg[ppPagesPerBlk:], uint32(p.Geometry.PagesPerBlk))
+	put32(pg[ppBlocksPerLUN:], uint32(p.Geometry.BlocksPerLUN))
+	pg[ppLUNCount] = 1
+	put32(pg[ppMaxPECycles:], uint32(p.MaxPECycles))
+	planeBits := 0
+	for 1<<planeBits < p.Geometry.Planes {
+		planeBits++
+	}
+	pg[ppPlaneAddr] = byte(planeBits)
+	put16(pg[ppCRC:], ParamPageCRC(pg[:ppCRC]))
+	return pg
+}
+
+func padded(s string, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = ' '
+	}
+	copy(out, s)
+	return out
+}
+
+func put16(b []byte, v uint16) { b[0], b[1] = byte(v), byte(v>>8) }
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func get16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// ParamPageCRC computes the ONFI parameter-page CRC-16: polynomial
+// 0x8005, initial value 0x4F4E ("NO" — the spec's nod to "ONFI"), MSB
+// first, no reflection.
+func ParamPageCRC(data []byte) uint16 {
+	crc := uint16(0x4F4E)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x8005
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// ParsedParamPage is the decoded subset BABOL's boot flow consumes.
+type ParsedParamPage struct {
+	Manufacturer string
+	Model        string
+	Geometry     onfi.Geometry
+	MaxPECycles  int
+}
+
+// ParseParameterPage validates the signature and CRC and decodes the
+// geometry fields. It returns ok=false for a corrupted page (wrong
+// signature or CRC) — the integrity signal calibration keys on.
+func ParseParameterPage(pg []byte) (ParsedParamPage, bool) {
+	if len(pg) < ParamPageSize {
+		return ParsedParamPage{}, false
+	}
+	if string(pg[ppSignature:ppSignature+4]) != "ONFI" {
+		return ParsedParamPage{}, false
+	}
+	if get16(pg[ppCRC:]) != ParamPageCRC(pg[:ppCRC]) {
+		return ParsedParamPage{}, false
+	}
+	return ParsedParamPage{
+		Manufacturer: trimmed(pg[ppManufacturer : ppManufacturer+12]),
+		Model:        trimmed(pg[ppModel : ppModel+20]),
+		Geometry: onfi.Geometry{
+			Planes:       1 << pg[ppPlaneAddr],
+			BlocksPerLUN: int(get32(pg[ppBlocksPerLUN:])),
+			PagesPerBlk:  int(get32(pg[ppPagesPerBlk:])),
+			PageBytes:    int(get32(pg[ppPageBytes:])),
+			SpareBytes:   int(get16(pg[ppSpareBytes:])),
+		},
+		MaxPECycles: int(get32(pg[ppMaxPECycles:])),
+	}, true
+}
+
+func trimmed(b []byte) string {
+	end := len(b)
+	for end > 0 && (b[end-1] == ' ' || b[end-1] == 0) {
+		end--
+	}
+	return string(b[:end])
+}

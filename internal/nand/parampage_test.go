@@ -1,0 +1,151 @@
+package nand
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+func TestParamPageRoundTrip(t *testing.T) {
+	for _, p := range Presets() {
+		pg := buildParameterPage(p)
+		if len(pg) != ParamPageSize {
+			t.Fatalf("%s: page size %d", p.Name, len(pg))
+		}
+		parsed, ok := ParseParameterPage(pg)
+		if !ok {
+			t.Fatalf("%s: own page fails validation", p.Name)
+		}
+		if parsed.Geometry != p.Geometry {
+			t.Errorf("%s: geometry %+v != %+v", p.Name, parsed.Geometry, p.Geometry)
+		}
+		if parsed.Manufacturer != p.Name {
+			t.Errorf("%s: manufacturer %q", p.Name, parsed.Manufacturer)
+		}
+		if parsed.MaxPECycles != p.MaxPECycles {
+			t.Errorf("%s: endurance %d", p.Name, parsed.MaxPECycles)
+		}
+	}
+}
+
+func TestParamPageCorruptionDetected(t *testing.T) {
+	pg := buildParameterPage(Hynix())
+	pg[ppPageBytes] ^= 1
+	if _, ok := ParseParameterPage(pg); ok {
+		t.Error("corrupted page validated")
+	}
+	pg2 := buildParameterPage(Hynix())
+	pg2[0] = 'X'
+	if _, ok := ParseParameterPage(pg2); ok {
+		t.Error("bad signature validated")
+	}
+	if _, ok := ParseParameterPage(pg2[:10]); ok {
+		t.Error("short page validated")
+	}
+}
+
+// Property: any single-byte corruption of the covered region is caught.
+func TestParamPageCRCProperty(t *testing.T) {
+	base := buildParameterPage(Toshiba())
+	f := func(pos uint8, flip uint8) bool {
+		if flip == 0 {
+			return true
+		}
+		pg := append([]byte(nil), base...)
+		pg[int(pos)%ppCRC] ^= flip
+		_, ok := ParseParameterPage(pg)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadParameterPageProtocol(t *testing.T) {
+	l := newTestLUN(t)
+	if err := l.Latch(0, []onfi.Latch{
+		onfi.CmdLatch(onfi.CmdReadParameterPg), onfi.AddrLatch(0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Ready(0) {
+		t.Fatal("ready immediately — parameter page fetch takes time")
+	}
+	done := sim.Time(0).Add(tParamPage)
+	raw, err := l.DataOut(done, ParamPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, ok := ParseParameterPage(raw)
+	if !ok {
+		t.Fatal("page from protocol fails validation")
+	}
+	if parsed.Geometry != l.Params().Geometry {
+		t.Error("geometry mismatch")
+	}
+	// The page repeats: reading again continues into the next copy.
+	raw2, err := l.DataOut(done, ParamPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ParseParameterPage(raw2); !ok {
+		t.Error("second copy invalid")
+	}
+}
+
+func TestPhaseCorruption(t *testing.T) {
+	p := smallParams()
+	p.PhaseOptimal = 12 // far from the boot default of 8
+	l, err := NewLUN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SeedPage(onfi.RowAddr{}, []byte{0x11, 0x22, 0x33}); err != nil {
+		t.Fatal(err)
+	}
+	// At the boot-default phase, reads corrupt.
+	latchRead(t, l, 0, onfi.Addr{})
+	now := sim.Time(0).Add(p.TR)
+	got, err := l.DataOut(now, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 0x11 {
+		t.Error("misphased read returned clean data")
+	}
+	// Trim the phase into the window: reads clean up.
+	if err := l.Latch(now, []onfi.Latch{
+		onfi.CmdLatch(onfi.CmdSetFeatures), onfi.AddrLatch(byte(onfi.FeatOutputPhase)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DataIn(now, []byte{11, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	latchRead(t, l, now, onfi.Addr{})
+	now = now.Add(2 * p.TR)
+	got, err = l.DataOut(now, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x11 || got[1] != 0x22 {
+		t.Errorf("in-window read corrupt: % X", got)
+	}
+}
+
+func TestDefaultPhaseNeedsNoCalibration(t *testing.T) {
+	l := newTestLUN(t) // PhaseOptimal zero → default 8 = boot register
+	if err := l.SeedPage(onfi.RowAddr{}, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	latchRead(t, l, 0, onfi.Addr{})
+	got, err := l.DataOut(sim.Time(0).Add(l.Params().TR), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA {
+		t.Error("default-phase read corrupted")
+	}
+}

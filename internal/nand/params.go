@@ -1,0 +1,180 @@
+// Package nand models ONFI NAND flash packages with timing- and
+// state-accurate LUN behaviour: command decoding, page/cache registers,
+// busy intervals (tR/tPROG/tBERS) with deterministic per-page variation,
+// pseudo-SLC mode, SET FEATURES (including read-retry voltage levels),
+// program/erase suspension, wear accounting, and bit-error injection.
+//
+// The model replaces the commercial SO-DIMM packages the paper attaches to
+// the Cosmos+ platform. A controller observes a package only through ONFI
+// waveforms and delays, and the model reproduces exactly those observable
+// semantics.
+package nand
+
+import (
+	"fmt"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// Params describes one package type: geometry, array timings, and
+// reliability characteristics.
+type Params struct {
+	Name     string
+	Geometry onfi.Geometry
+
+	TR    sim.Duration // page read: array → page register
+	TPROG sim.Duration // page program: page register → array
+	TBERS sim.Duration // block erase
+
+	// TRSLC is the pSLC-mode page read time (vendor-specific, faster than
+	// TR). Zero disables pSLC support.
+	TRSLC sim.Duration
+	// TPROGSLC is the pSLC-mode program time.
+	TPROGSLC sim.Duration
+
+	// JitterPct bounds the deterministic per-page variation of TR/TPROG
+	// (±JitterPct %). Real tR is "highly variable" (paper §V); the model
+	// varies it deterministically from the page address.
+	JitterPct int
+
+	// LUNsPerChannel is how many LUNs the vendor's SO-DIMM wires onto one
+	// channel (8 for the Hynix and Toshiba modules, 2 for the Micron).
+	LUNsPerChannel int
+
+	// MaxPECycles is the nominal program/erase endurance of a block.
+	MaxPECycles int
+
+	// RawBitErrorPer512B is the expected raw bit errors injected per 512-B
+	// codeword at end-of-life wear with the default read voltage.
+	RawBitErrorPer512B float64
+
+	// ReadRetryLevels is how many vendor read-retry voltage steps the
+	// package exposes via SET FEATURES.
+	ReadRetryLevels int
+
+	// IDBytes is what READ ID returns.
+	IDBytes []byte
+
+	// BootInSDR makes the instance power up in the ONFI-mandated SDR
+	// data interface (§IV-C: "some packages boot in SDR data mode and
+	// can only be reconfigured to faster data modes through that
+	// interface"): data bursts above 50 MT/s fail until the controller
+	// switches the timing mode via SET FEATURES. Off by default so
+	// performance experiments skip the boot dance.
+	BootInSDR bool
+
+	// PhaseOptimal is the DQS output-phase trim (0–15) at which this
+	// package instance's data reads are clean; settings more than one
+	// step away return corrupted data. Boards differ per instance
+	// (§IV-C: "the controller may need to individually adjust the
+	// waveform phase for each package"), so boot-time calibration sweeps
+	// the phase feature. Zero means "use the default" (8), which matches
+	// the boot register value — i.e. no calibration needed.
+	PhaseOptimal int
+}
+
+// Validate checks the parameter set.
+func (p Params) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("nand: params need a name")
+	}
+	if err := p.Geometry.Validate(); err != nil {
+		return fmt.Errorf("nand: %s: %w", p.Name, err)
+	}
+	if p.TR <= 0 || p.TPROG <= 0 || p.TBERS <= 0 {
+		return fmt.Errorf("nand: %s: array timings must be positive", p.Name)
+	}
+	if p.JitterPct < 0 || p.JitterPct >= 100 {
+		return fmt.Errorf("nand: %s: jitter %d%% out of range", p.Name, p.JitterPct)
+	}
+	if p.LUNsPerChannel <= 0 {
+		return fmt.Errorf("nand: %s: needs at least one LUN per channel", p.Name)
+	}
+	return nil
+}
+
+// defaultGeometry is the 16-KiB-page TLC geometry shared by the paper's
+// three modules (Table I lists a 16384-B page read size for all of them).
+func defaultGeometry() onfi.Geometry {
+	return onfi.Geometry{
+		Planes:       2,
+		BlocksPerLUN: 1024,
+		PagesPerBlk:  256,
+		PageBytes:    16384,
+		SpareBytes:   1872,
+	}
+}
+
+// Hynix returns the parameter preset for the Hynix module of Table I
+// (page read time 100 µs, 8 LUNs per channel).
+func Hynix() Params {
+	return Params{
+		Name:               "Hynix",
+		Geometry:           defaultGeometry(),
+		TR:                 100 * sim.Microsecond,
+		TPROG:              700 * sim.Microsecond,
+		TBERS:              5 * sim.Millisecond,
+		TRSLC:              35 * sim.Microsecond,
+		TPROGSLC:           200 * sim.Microsecond,
+		JitterPct:          5,
+		LUNsPerChannel:     8,
+		MaxPECycles:        3000,
+		RawBitErrorPer512B: 2.0,
+		ReadRetryLevels:    7,
+		IDBytes:            []byte{0xAD, 0xDE, 0x14, 0xA7, 0x42, 0x4A},
+	}
+}
+
+// Toshiba returns the preset for the Toshiba module of Table I
+// (page read time 78 µs, 8 LUNs per channel).
+func Toshiba() Params {
+	return Params{
+		Name:               "Toshiba",
+		Geometry:           defaultGeometry(),
+		TR:                 78 * sim.Microsecond,
+		TPROG:              600 * sim.Microsecond,
+		TBERS:              4 * sim.Millisecond,
+		TRSLC:              30 * sim.Microsecond,
+		TPROGSLC:           180 * sim.Microsecond,
+		JitterPct:          5,
+		LUNsPerChannel:     8,
+		MaxPECycles:        3000,
+		RawBitErrorPer512B: 1.8,
+		ReadRetryLevels:    7,
+		IDBytes:            []byte{0x98, 0xDE, 0x14, 0xA7, 0x42, 0x4A},
+	}
+}
+
+// Micron returns the preset for the Micron module of Table I
+// (page read time 53 µs, only 2 LUNs per channel).
+func Micron() Params {
+	return Params{
+		Name:               "Micron",
+		Geometry:           defaultGeometry(),
+		TR:                 53 * sim.Microsecond,
+		TPROG:              500 * sim.Microsecond,
+		TBERS:              3500 * sim.Microsecond,
+		TRSLC:              25 * sim.Microsecond,
+		TPROGSLC:           150 * sim.Microsecond,
+		JitterPct:          5,
+		LUNsPerChannel:     2,
+		MaxPECycles:        3000,
+		RawBitErrorPer512B: 1.5,
+		ReadRetryLevels:    8,
+		IDBytes:            []byte{0x2C, 0xDE, 0x14, 0xA7, 0x42, 0x4A},
+	}
+}
+
+// Presets returns the three Table I packages in paper order.
+func Presets() []Params { return []Params{Hynix(), Toshiba(), Micron()} }
+
+// PresetByName looks a preset up case-sensitively.
+func PresetByName(name string) (Params, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("nand: unknown package preset %q", name)
+}

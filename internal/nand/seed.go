@@ -1,0 +1,51 @@
+package nand
+
+import (
+	"fmt"
+
+	"repro/internal/onfi"
+)
+
+// SeedPage stores data directly into the array, bypassing the ONFI
+// protocol. Experiments use it to pre-initialize an SSD with data (the
+// paper initializes its devices before running fio) without simulating
+// hours of PROGRAM traffic. data shorter than a full page is zero-padded;
+// longer data is an error.
+func (l *LUN) SeedPage(row onfi.RowAddr, data []byte) error {
+	if err := l.geo.CheckAddr(onfi.Addr{Row: row}); err != nil {
+		return err
+	}
+	if len(data) > l.geo.FullPageBytes() {
+		return fmt.Errorf("nand: seed data of %d bytes exceeds page size %d", len(data), l.geo.FullPageBytes())
+	}
+	page := make([]byte, l.geo.FullPageBytes())
+	copy(page, data)
+	idx := l.rowIndex(row)
+	l.pages[idx] = page
+	l.programmed[idx] = true
+	return nil
+}
+
+// PeekPage returns a copy of the array's stored content for row without
+// timing, busy, or error-injection effects — the test-and-debug view.
+// Erased pages read as all 0xFF.
+func (l *LUN) PeekPage(row onfi.RowAddr) ([]byte, error) {
+	if err := l.geo.CheckAddr(onfi.Addr{Row: row}); err != nil {
+		return nil, err
+	}
+	out := make([]byte, l.geo.FullPageBytes())
+	if stored, ok := l.pages[l.rowIndex(row)]; ok {
+		copy(out, stored)
+	} else {
+		for i := range out {
+			out[i] = 0xFF
+		}
+	}
+	return out, nil
+}
+
+// Programmed reports whether row has been programmed since its block was
+// last erased.
+func (l *LUN) Programmed(row onfi.RowAddr) bool {
+	return l.programmed[l.rowIndex(row)]
+}

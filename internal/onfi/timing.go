@@ -1,0 +1,145 @@
+package onfi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DataMode is an ONFI data-interface mode. The mode determines how many
+// data transfers happen per cycle and the supported bus frequencies.
+type DataMode uint8
+
+const (
+	// SDR is the asynchronous single-data-rate interface every package
+	// boots in (max ~50 MT/s).
+	SDR DataMode = iota
+	// NVDDR is the first double-data-rate interface (max ~200 MT/s).
+	NVDDR
+	// NVDDR2 is the source-synchronous DDR interface used by the paper's
+	// packages (max ~533 MT/s; the paper runs it at 100 and 200 MT/s).
+	NVDDR2
+)
+
+func (m DataMode) String() string {
+	switch m {
+	case SDR:
+		return "SDR"
+	case NVDDR:
+		return "NVDDR"
+	case NVDDR2:
+		return "NVDDR2"
+	default:
+		return fmt.Sprintf("DataMode(%d)", uint8(m))
+	}
+}
+
+// MaxRateMT reports the maximum transfer rate of the mode in
+// megatransfers per second.
+func (m DataMode) MaxRateMT() int {
+	switch m {
+	case SDR:
+		return 50
+	case NVDDR:
+		return 200
+	default:
+		return 533
+	}
+}
+
+// BusConfig describes the electrical configuration of one channel: the
+// data-interface mode and the transfer rate it is clocked at. One transfer
+// moves one byte (8-bit DQ bus).
+type BusConfig struct {
+	Mode   DataMode
+	RateMT int // megatransfers per second (e.g. 100, 200)
+}
+
+// Validate checks the rate against the mode's ceiling.
+func (c BusConfig) Validate() error {
+	if c.RateMT <= 0 {
+		return fmt.Errorf("onfi: non-positive transfer rate %d MT/s", c.RateMT)
+	}
+	if max := c.Mode.MaxRateMT(); c.RateMT > max {
+		return fmt.Errorf("onfi: %d MT/s exceeds %v ceiling of %d MT/s", c.RateMT, c.Mode, max)
+	}
+	return nil
+}
+
+// TransferPeriod is the virtual time to move one byte across the DQ bus.
+func (c BusConfig) TransferPeriod() sim.Duration {
+	// 1 / (RateMT * 1e6) seconds = 1e6/RateMT picoseconds.
+	return sim.Duration(1_000_000 / int64(c.RateMT))
+}
+
+// DataTime is the bus time to move n bytes, excluding preambles.
+func (c BusConfig) DataTime(n int) sim.Duration {
+	return sim.Duration(n) * c.TransferPeriod()
+}
+
+// Timing holds the ONFI timing parameters a controller must observe when
+// constructing waveforms. Naming follows the specification. All values are
+// virtual durations. The three delay "categories" of the paper map to:
+//
+//   - intra-µFSM waits (tCS, tCH, tCALS, tCALH, tWP, tDQSS…): consumed by
+//     the µFSM implementations in internal/ufsm;
+//   - µFSM-adjacent mandatory waits (tWB): also owned by the µFSMs;
+//   - inter-segment waits (tR, tPROG, tBERS, tADL, tRHW): owned by the
+//     operation logic (Timer µFSM or status polling).
+type Timing struct {
+	TCS   sim.Duration // CE setup before first latch
+	TCH   sim.Duration // CE hold after last latch
+	TCALS sim.Duration // CLE/ALE setup to WE rising edge
+	TCALH sim.Duration // CLE/ALE hold after WE rising edge
+	TWP   sim.Duration // WE pulse width (one latch cycle low time)
+	TWH   sim.Duration // WE high time between latch cycles
+	TWB   sim.Duration // WE high to busy (command absorbed by LUN)
+	TADL  sim.Duration // address-cycle-to-data-loading (SET FEATURES etc.)
+	TRHW  sim.Duration // data output to next command
+	TWHR  sim.Duration // command to data output (e.g. status after 0x70)
+	TDQSS sim.Duration // DQS strobe preamble before a data burst
+	TRPST sim.Duration // DQS postamble after a data burst
+	TCCS  sim.Duration // change-column setup time
+}
+
+// DefaultTiming returns the timing set BABOL uses for NV-DDR2-class
+// packages. Values are representative of ONFI timing mode 5 parts.
+func DefaultTiming() Timing {
+	return Timing{
+		TCS:   20 * sim.Nanosecond,
+		TCH:   5 * sim.Nanosecond,
+		TCALS: 15 * sim.Nanosecond,
+		TCALH: 5 * sim.Nanosecond,
+		TWP:   11 * sim.Nanosecond,
+		TWH:   9 * sim.Nanosecond,
+		TWB:   100 * sim.Nanosecond,
+		TADL:  150 * sim.Nanosecond,
+		TRHW:  100 * sim.Nanosecond,
+		TWHR:  80 * sim.Nanosecond,
+		TDQSS: 30 * sim.Nanosecond,
+		TRPST: 15 * sim.Nanosecond,
+		TCCS:  300 * sim.Nanosecond,
+	}
+}
+
+// LatchCycle is the bus time of one command/address latch cycle: the WE
+// pulse plus the inter-cycle high time.
+func (t Timing) LatchCycle() sim.Duration { return t.TWP + t.TWH }
+
+// LatchSegment is the bus time of a C/A segment with n latch cycles,
+// including CE setup/hold and the post-segment tWB absorption wait.
+func (t Timing) LatchSegment(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return t.TCS + sim.Duration(n)*t.LatchCycle() + t.TCH + t.TWB
+}
+
+// DataSegment is the bus time of a data burst of n bytes under cfg,
+// including the DQS preamble and postamble.
+func (t Timing) DataSegment(cfg BusConfig, n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return t.TDQSS + cfg.DataTime(n) + t.TRPST
+}

@@ -1,0 +1,313 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// CacheReadPages streams `count` consecutive pages starting at startRow
+// using READ CACHE SEQUENTIAL: while page k transfers out of the cache
+// register, the array already fetches page k+1, hiding tR behind the bus
+// transfer. Pages land contiguously in DRAM at dramAddr.
+func CacheReadPages(startRow onfi.RowAddr, count, dramAddr, pageBytes int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		if count <= 0 {
+			return fmt.Errorf("ops: cache read of %d pages", count)
+		}
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := g.CheckAddr(onfi.Addr{Row: startRow}); err != nil {
+			return err
+		}
+		// Initial READ starts the first array fetch.
+		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: startRow}, onfi.CmdRead2)...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		for i := 0; i < count; i++ {
+			// Wait for the array to finish the in-flight fetch (ARDY —
+			// the LUN stays RDY for cache transfers while fetching).
+			s, err := pollArrayReady(ctx, chip)
+			if err != nil {
+				return err
+			}
+			if s&onfi.StatusFail != 0 {
+				return fmt.Errorf("ops: cache read FAIL at page %d", i)
+			}
+			if i < count-1 {
+				// 0x31: current page → cache register, array starts the
+				// next page; the transfer below overlaps that fetch.
+				ctx.Cmd(onfi.CmdCacheRead)
+			} else {
+				// 0x3F: last page → cache register, no further fetch.
+				ctx.Cmd(onfi.CmdCacheReadEnd)
+			}
+			ctx.ReadData(dramAddr+i*pageBytes, pageBytes)
+			if res := ctx.Submit(); res.Err != nil {
+				return res.Err
+			}
+		}
+		return nil
+	}
+}
+
+// ReadWithRetry reads a page and, when verify rejects the data (e.g. the
+// ECC decoder reports uncorrectable errors), walks the vendor's
+// read-retry voltage levels via SET FEATURES until the data verifies or
+// the levels are exhausted — the READ RETRY flow from the literature
+// [34], [48] that motivates software-defined operations.
+//
+// verify receives the DRAM window content after each attempt.
+func ReadWithRetry(addr onfi.Addr, dramAddr, n int, verify func([]byte) bool) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		levels := ctx.Params().ReadRetryLevels
+		if levels == 0 {
+			return fmt.Errorf("ops: package %s has no read-retry support", ctx.Params().Name)
+		}
+		read := func() error {
+			g := ctx.Geometry()
+			ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+			if res := ctx.Submit(); res.Err != nil {
+				return res.Err
+			}
+			s, err := pollReady(ctx, ctx.ChipIndex())
+			if err != nil {
+				return err
+			}
+			if s&onfi.StatusFail != 0 {
+				return fmt.Errorf("ops: retry read FAIL")
+			}
+			ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+			ctx.ReadData(dramAddr, n)
+			res := ctx.Submit()
+			return res.Err
+		}
+		check := func() (bool, error) {
+			w, err := ctx.Controller().DRAM().Window(dramAddr, n)
+			if err != nil {
+				return false, err
+			}
+			return verify(w), nil
+		}
+
+		// Attempt 0: whatever level the package is currently at.
+		if err := read(); err != nil {
+			return err
+		}
+		if ok, err := check(); err != nil {
+			return err
+		} else if ok {
+			return nil
+		}
+		// Walk the retry table.
+		for lvl := 0; lvl < levels; lvl++ {
+			if err := setFeature(ctx, onfi.FeatReadRetry, [4]byte{byte(lvl)}); err != nil {
+				return err
+			}
+			if err := read(); err != nil {
+				return err
+			}
+			if ok, err := check(); err != nil {
+				return err
+			} else if ok {
+				return nil
+			}
+		}
+		return fmt.Errorf("ops: read retry exhausted %d levels at %+v", levels, addr.Row)
+	}
+}
+
+// GangRead is the RAIL-style replicated read [32]: the page is stored at
+// the same address on every chip in replicas, the READ command is
+// gang-issued through the Chip Enable control in a single latch burst,
+// and the data transfers from whichever replica becomes ready first —
+// cutting tail latency when one chip is slow or busy.
+//
+// The operation must be started with ExtraChips covering all replicas.
+func GangRead(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		if len(replicas) == 0 {
+			return fmt.Errorf("ops: gang read with no replicas")
+		}
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		var mask bus.ChipMask
+		for _, c := range replicas {
+			mask |= bus.Mask(c)
+		}
+		// One broadcast latch burst starts tR on every replica at once
+		// (paper §IV-A: "the Chip Control can be used to gang schedule a
+		// particular operation").
+		ctx.Chip(mask)
+		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		// Poll the replicas round-robin; first ready wins.
+		winner := -1
+		for winner < 0 {
+			for _, c := range replicas {
+				s, err := ReadStatus(ctx, c)
+				if err != nil {
+					return err
+				}
+				if s&onfi.StatusRDY != 0 && s&onfi.StatusFail == 0 {
+					winner = c
+					break
+				}
+			}
+		}
+		ctx.Chip(bus.Mask(winner))
+		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.ReadData(dramAddr, n)
+		res := ctx.Submit()
+		return res.Err
+	}
+}
+
+// GangProgram replicates one DRAM buffer onto the same address of every
+// chip in replicas with a single broadcast data burst — the write side of
+// RAIL-style replication. All replicas program concurrently.
+func GangProgram(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		if len(replicas) == 0 {
+			return fmt.Errorf("ops: gang program with no replicas")
+		}
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		var mask bus.ChipMask
+		for _, c := range replicas {
+			mask |= bus.Mask(c)
+		}
+		ctx.Chip(mask)
+		var latches []onfi.Latch
+		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
+		latches = append(latches, g.AddrLatches(addr)...)
+		ctx.CmdAddr(latches...)
+		ctx.WriteData(dramAddr, n)
+		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		// All replicas must finish cleanly.
+		for _, c := range replicas {
+			for {
+				s, err := ReadStatus(ctx, c)
+				if err != nil {
+					return err
+				}
+				if s&onfi.StatusRDY == 0 {
+					continue
+				}
+				if s&onfi.StatusFail != 0 {
+					return fmt.Errorf("ops: gang program FAIL on chip %d", c)
+				}
+				break
+			}
+		}
+		return nil
+	}
+}
+
+// EraseWithSuspend erases a block but suspends the erase partway to
+// service a latency-critical page read, then resumes — the erase-suspend
+// optimization from the literature [23], [54]. readAddr names the page to
+// read during the suspension window; its data lands at dramAddr.
+func EraseWithSuspend(block int, readAddr onfi.Addr, dramAddr, n int, suspendAfter sim.Duration) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		row := onfi.RowAddr{Block: block}
+		if err := g.CheckAddr(onfi.Addr{Row: row}); err != nil {
+			return err
+		}
+		if readAddr.Row.Block == block {
+			return fmt.Errorf("ops: cannot read block %d while it is being erased", block)
+		}
+		// Start the erase.
+		var latches []onfi.Latch
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
+		latches = append(latches, g.RowLatches(row)...)
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
+		ctx.CmdAddr(latches...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		// Let it run, then suspend.
+		ctx.Sleep(suspendAfter)
+		ctx.Cmd(onfi.CmdSuspend)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		if _, err := pollReady(ctx, chip); err != nil {
+			return err
+		}
+		// Service the urgent read inside the suspension window.
+		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: readAddr.Row}, onfi.CmdRead2)...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		if _, err := pollReady(ctx, chip); err != nil {
+			return err
+		}
+		ctx.CmdAddr(changeColumnLatches(readAddr.Col)...)
+		ctx.ReadData(dramAddr, n)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		// Resume and finish the erase.
+		ctx.Cmd(onfi.CmdResume)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: suspended erase of block %d reported FAIL", block)
+		}
+		return nil
+	}
+}
+
+// BootSequence initializes a freshly attached package the way BABOL's
+// software environment expresses vendor boot flows (paper §IV-C): RESET,
+// READ ID verification, then SET FEATURES to switch the data interface
+// out of the boot-time SDR mode.
+func BootSequence(wantID []byte, timingMode byte) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		// RESET and wait for the package to come back.
+		ctx.Cmd(onfi.CmdReset)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		if _, err := pollReady(ctx, chip); err != nil {
+			return err
+		}
+		// READ ID: confirm we are talking to the package we think.
+		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdReadID), onfi.AddrLatch(0))
+		ctx.ReadCapture(len(wantID))
+		res := ctx.Submit()
+		if res.Err != nil {
+			return res.Err
+		}
+		for i := range wantID {
+			if res.Captured[i] != wantID[i] {
+				return fmt.Errorf("ops: boot ID mismatch at byte %d: got %02X want %02X",
+					i, res.Captured[i], wantID[i])
+			}
+		}
+		// Switch the data interface (packages boot in SDR; cf. §IV-C).
+		return setFeature(ctx, onfi.FeatTimingMode, [4]byte{timingMode})
+	}
+}

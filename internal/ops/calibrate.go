@@ -1,0 +1,117 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+)
+
+// readParamPage performs one READ PARAMETER PAGE against the op's chip
+// and returns the raw 256-byte page. Nestable.
+func readParamPage(ctx *core.Ctx) ([]byte, error) {
+	chip := ctx.ChipIndex()
+	ctx.CmdAddr(onfi.CmdLatch(onfi.CmdReadParameterPg), onfi.AddrLatch(0))
+	if res := ctx.Submit(); res.Err != nil {
+		return nil, res.Err
+	}
+	if _, err := pollReady(ctx, chip); err != nil {
+		return nil, err
+	}
+	// READ MODE (bare 00h): switch the LUN's output from status back to
+	// the parameter page the poll interrupted.
+	ctx.Cmd(onfi.CmdRead1)
+	ctx.ReadCapture(nand.ParamPageSize)
+	res := ctx.Submit()
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Captured, nil
+}
+
+// ReadParameterPage returns the READ PARAMETER PAGE operation: it
+// fetches and CRC-validates the package's ONFI self-description,
+// delivering the parsed geometry through out. Boot flows use it to
+// discover what is actually soldered to the channel.
+func ReadParameterPage(out *nand.ParsedParamPage) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		raw, err := readParamPage(ctx)
+		if err != nil {
+			return err
+		}
+		parsed, ok := nand.ParseParameterPage(raw)
+		if !ok {
+			return fmt.Errorf("ops: parameter page failed signature/CRC validation")
+		}
+		*out = parsed
+		return nil
+	}
+}
+
+// CalibratePhase is the calibration tool of §IV-C: board traces differ
+// per package instance, so the DQS sampling phase must be trimmed
+// per chip at boot. The operation sweeps every phase setting through SET
+// FEATURES, reads the CRC-protected parameter page at each, finds the
+// window of clean settings, and programs the window's midpoint — "detect
+// phase differences and suggest adjustments". The chosen phase is
+// delivered through chosen.
+func CalibratePhase(maxPhase int, chosen *int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		if maxPhase <= 0 {
+			maxPhase = 16
+		}
+		valid := make([]bool, maxPhase)
+		anyValid := false
+		for phase := 0; phase < maxPhase; phase++ {
+			if err := setFeature(ctx, onfi.FeatOutputPhase, [4]byte{byte(phase)}); err != nil {
+				return err
+			}
+			raw, err := readParamPage(ctx)
+			if err != nil {
+				return err
+			}
+			if _, ok := nand.ParseParameterPage(raw); ok {
+				valid[phase] = true
+				anyValid = true
+			}
+		}
+		if !anyValid {
+			return fmt.Errorf("ops: phase calibration found no working setting in [0,%d)", maxPhase)
+		}
+		// Pick the midpoint of the widest contiguous valid window: the
+		// most margin against voltage/temperature drift.
+		bestStart, bestLen := -1, 0
+		start := -1
+		for p := 0; p <= maxPhase; p++ {
+			if p < maxPhase && valid[p] {
+				if start < 0 {
+					start = p
+				}
+				continue
+			}
+			if start >= 0 {
+				if l := p - start; l > bestLen {
+					bestStart, bestLen = start, l
+				}
+				start = -1
+			}
+		}
+		pick := bestStart + bestLen/2
+		if err := setFeature(ctx, onfi.FeatOutputPhase, [4]byte{byte(pick)}); err != nil {
+			return err
+		}
+		// Confirm the final setting actually reads clean.
+		raw, err := readParamPage(ctx)
+		if err != nil {
+			return err
+		}
+		if _, ok := nand.ParseParameterPage(raw); !ok {
+			return fmt.Errorf("ops: calibrated phase %d failed verification", pick)
+		}
+		if chosen != nil {
+			*chosen = pick
+		}
+		return nil
+	}
+}

@@ -1,0 +1,95 @@
+package ops_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/ops"
+)
+
+func TestReadParameterPageOp(t *testing.T) {
+	r := newRig(t, 1, smallParams())
+	var parsed nand.ParsedParamPage
+	err := r.run(t, core.OpRequest{Func: ops.ReadParameterPage(&parsed), Chip: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Geometry != smallParams().Geometry {
+		t.Errorf("discovered geometry %+v", parsed.Geometry)
+	}
+	if parsed.Manufacturer != "Hynix" {
+		t.Errorf("manufacturer %q", parsed.Manufacturer)
+	}
+}
+
+func TestReadParameterPageFailsWhenMisphased(t *testing.T) {
+	p := smallParams()
+	p.PhaseOptimal = 13 // boot default 8 is outside the clean window
+	r := newRig(t, 1, p)
+	var parsed nand.ParsedParamPage
+	err := r.run(t, core.OpRequest{Func: ops.ReadParameterPage(&parsed), Chip: 0})
+	if err == nil {
+		t.Fatal("CRC passed on a misphased read")
+	}
+}
+
+func TestCalibratePhaseFindsWindow(t *testing.T) {
+	for _, optimal := range []int{2, 8, 13} {
+		p := smallParams()
+		p.PhaseOptimal = optimal
+		r := newRig(t, 1, p)
+		var chosen int
+		err := r.run(t, core.OpRequest{Func: ops.CalibratePhase(16, &chosen), Chip: 0})
+		if err != nil {
+			t.Fatalf("optimal %d: %v", optimal, err)
+		}
+		if chosen < optimal-1 || chosen > optimal+1 {
+			t.Errorf("optimal %d: calibrated to %d, outside clean window", optimal, chosen)
+		}
+		// After calibration, ordinary reads are clean.
+		want := []byte{0xC7, 0x3B}
+		if err := r.ch.Chip(0).SeedPage(onfi.RowAddr{Block: 1}, want); err != nil {
+			t.Fatal(err)
+		}
+		err = r.run(t, core.OpRequest{
+			Func: ops.ReadPage(onfi.Addr{Row: onfi.RowAddr{Block: 1}}, 0, 2), Chip: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := r.mem.Read(0, 2)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("optimal %d: post-calibration read corrupt: % X", optimal, got)
+		}
+	}
+}
+
+func TestCalibrateThenBoot(t *testing.T) {
+	// The full §IV-C bring-up flow: reset, identify, discover geometry,
+	// trim the phase — all as one composed operation.
+	p := smallParams()
+	p.PhaseOptimal = 4
+	r := newRig(t, 1, p)
+	var parsed nand.ParsedParamPage
+	var chosen int
+	bringup := func(ctx *core.Ctx) error {
+		if err := ops.BootSequence(p.IDBytes[:2], 0x15)(ctx); err != nil {
+			return err
+		}
+		if err := ops.CalibratePhase(16, &chosen)(ctx); err != nil {
+			return err
+		}
+		return ops.ReadParameterPage(&parsed)(ctx)
+	}
+	if err := r.run(t, core.OpRequest{Func: bringup, Chip: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if chosen < 3 || chosen > 5 {
+		t.Errorf("chosen phase %d", chosen)
+	}
+	if parsed.Geometry != p.Geometry {
+		t.Error("geometry not discovered after calibration")
+	}
+}

@@ -1,0 +1,196 @@
+package ops
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// UrgentRead is a latency-critical page read waiting to preempt a long
+// array operation.
+type UrgentRead struct {
+	Addr     onfi.Addr
+	DramAddr int
+	N        int
+	// Done is called when the read's data is in DRAM (or on failure).
+	Done func(error)
+}
+
+// InterruptibleErase erases a block while servicing latency-critical
+// reads that arrive mid-erase: whenever next returns an UrgentRead, the
+// operation suspends the erase (61h), runs the read, drains any further
+// urgent reads, and resumes (D2h) — the erase-suspend optimization from
+// the literature the paper cites ([23], [54]). Being plain software, the
+// whole policy fits in one operation; a hardware controller would need a
+// new FSM and a re-spin.
+//
+// Between suspension checks the operation sleeps rather than polls, so a
+// multi-millisecond erase does not spam the channel with status reads.
+func InterruptibleErase(block int, next func() (UrgentRead, bool)) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		row := onfi.RowAddr{Block: block}
+		if err := g.CheckAddr(onfi.Addr{Row: row}); err != nil {
+			return err
+		}
+		// Kick off the erase.
+		var latches []onfi.Latch
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
+		latches = append(latches, g.RowLatches(row)...)
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
+		ctx.CmdAddr(latches...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+
+		// checkSlice is how often we look for urgent work; a fraction of
+		// tBERS so preemption latency stays small against a ms-scale
+		// erase without burning the channel.
+		checkSlice := ctx.Params().TBERS / 64
+		if checkSlice < 10*sim.Microsecond {
+			checkSlice = 10 * sim.Microsecond
+		}
+
+		for {
+			// Serve any urgent reads first.
+			if ur, ok := next(); ok {
+				if err := suspendAndServe(ctx, chip, g, ur, next); err != nil {
+					return err
+				}
+				continue
+			}
+			// Check for completion.
+			s, err := ReadStatus(ctx, chip)
+			if err != nil {
+				return err
+			}
+			if s&onfi.StatusRDY != 0 {
+				if s&onfi.StatusFail != 0 {
+					return fmt.Errorf("ops: interruptible erase of block %d reported FAIL", block)
+				}
+				return nil
+			}
+			ctx.Sleep(checkSlice)
+		}
+	}
+}
+
+// suspendAndServe suspends the in-flight erase, runs ur plus any other
+// queued urgent reads, and resumes. A suspend that races with erase
+// completion is benign: the reads run against an idle array and no
+// resume is needed.
+func suspendAndServe(ctx *core.Ctx, chip int, g onfi.Geometry, ur UrgentRead, next func() (UrgentRead, bool)) error {
+	suspended := false
+	ctx.Cmd(onfi.CmdSuspend)
+	if res := ctx.Submit(); res.Err != nil {
+		if !errors.Is(res.Err, nand.ErrNotSuspendable) {
+			return res.Err
+		}
+		// The erase finished just before the suspend latched: serve the
+		// reads directly.
+	} else {
+		suspended = true
+		if _, err := pollReady(ctx, chip); err != nil {
+			return err
+		}
+	}
+
+	for {
+		err := serveRead(ctx, chip, g, ur)
+		if ur.Done != nil {
+			ur.Done(err)
+		}
+		if err != nil {
+			return err
+		}
+		var ok bool
+		ur, ok = next()
+		if !ok {
+			break
+		}
+	}
+
+	if suspended {
+		ctx.Cmd(onfi.CmdResume)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// serveRead performs one inline page read on behalf of an urgent host
+// request.
+func serveRead(ctx *core.Ctx, chip int, g onfi.Geometry, ur UrgentRead) error {
+	if err := g.CheckAddr(ur.Addr); err != nil {
+		return err
+	}
+	ctx.CmdAddr(readLatches(g, onfi.Addr{Row: ur.Addr.Row}, onfi.CmdRead2)...)
+	if res := ctx.Submit(); res.Err != nil {
+		return res.Err
+	}
+	s, err := pollReady(ctx, chip)
+	if err != nil {
+		return err
+	}
+	if s&onfi.StatusFail != 0 {
+		return fmt.Errorf("ops: urgent read at %+v reported FAIL", ur.Addr.Row)
+	}
+	ctx.CmdAddr(changeColumnLatches(ur.Addr.Col)...)
+	ctx.ReadData(ur.DramAddr, ur.N)
+	res := ctx.Submit()
+	return res.Err
+}
+
+// InterruptibleProgram programs a page while servicing latency-critical
+// reads that arrive during tPROG, via program suspension — the program
+// suspend/resume optimizations of [10], [52], [54]. Structure mirrors
+// InterruptibleErase; tPROG is shorter than tBERS, so the check slice is
+// finer.
+func InterruptibleProgram(addr onfi.Addr, dramAddr, n int, next func() (UrgentRead, bool)) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		var latches []onfi.Latch
+		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
+		latches = append(latches, g.AddrLatches(addr)...)
+		ctx.CmdAddr(latches...)
+		ctx.WriteData(dramAddr, n)
+		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+
+		checkSlice := ctx.Params().TPROG / 16
+		if checkSlice < 10*sim.Microsecond {
+			checkSlice = 10 * sim.Microsecond
+		}
+		for {
+			if ur, ok := next(); ok {
+				if err := suspendAndServe(ctx, chip, g, ur, next); err != nil {
+					return err
+				}
+				continue
+			}
+			s, err := ReadStatus(ctx, chip)
+			if err != nil {
+				return err
+			}
+			if s&onfi.StatusRDY != 0 {
+				if s&onfi.StatusFail != 0 {
+					return fmt.Errorf("ops: interruptible program at %+v reported FAIL", addr.Row)
+				}
+				return nil
+			}
+			ctx.Sleep(checkSlice)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package ops_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/ops"
+	"repro/internal/sim"
+	"repro/internal/wave"
+)
+
+// TestEveryOperationEmitsLegalWaveforms runs each library operation on a
+// fresh rig and validates the full captured channel trace against the
+// ONFI timing checker. This is the repository-wide guarantee the µFSM
+// abstraction promises: no matter how operations compose instructions,
+// the emitted waveforms are legal.
+func TestEveryOperationEmitsLegalWaveforms(t *testing.T) {
+	params := twoPlaneParams()
+	type tc struct {
+		name  string
+		prep  func(r *rig)
+		req   func(r *rig) core.OpRequest
+		allow bool // operation may legitimately fail (e.g. retry exhaustion)
+	}
+	seed := func(r *rig, rows ...onfi.RowAddr) {
+		for _, row := range rows {
+			if err := r.ch.Chip(0).SeedPage(row, []byte{1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var idBuf []byte
+	var feat [4]byte
+	var parsed nand.ParsedParamPage
+	var phase int
+	cases := []tc{
+		{name: "ReadPage",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ReadPage(onfi.Addr{}, 0, 256), Chip: 0}
+			}},
+		{name: "ReadPageSLC",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ReadPageSLC(onfi.Addr{}, 0, 256), Chip: 0}
+			}},
+		{name: "ReadPageFixedWait",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ReadPageFixedWait(onfi.Addr{}, 0, 256, params.TR*2), Chip: 0}
+			}},
+		{name: "ProgramPage",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ProgramPage(onfi.Addr{Row: onfi.RowAddr{Block: 2}}, 0, 256), Chip: 0}
+			}},
+		{name: "ProgramPageSLC",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ProgramPageSLC(onfi.Addr{Row: onfi.RowAddr{Block: 3}}, 0, 256), Chip: 0}
+			}},
+		{name: "EraseBlock",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.EraseBlock(1), Chip: 0}
+			}},
+		{name: "ReadID",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ReadID(&idBuf, 4), Chip: 0}
+			}},
+		{name: "Reset",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.Reset(), Chip: 0}
+			}},
+		{name: "SetFeature",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.SetFeature(onfi.FeatDriveStrength, [4]byte{1}), Chip: 0}
+			}},
+		{name: "GetFeature",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.GetFeature(onfi.FeatDriveStrength, &feat), Chip: 0}
+			}},
+		{name: "CacheReadPages",
+			prep: func(r *rig) {
+				seed(r, onfi.RowAddr{Page: 0}, onfi.RowAddr{Page: 1}, onfi.RowAddr{Page: 2})
+			},
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.CacheReadPages(onfi.RowAddr{}, 3, 0, 256), Chip: 0}
+			}},
+		{name: "ReadWithRetry",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{
+					Func: ops.ReadWithRetry(onfi.Addr{}, 0, 256, func([]byte) bool { return true }),
+					Chip: 0,
+				}
+			}},
+		{name: "GangRead",
+			prep: func(r *rig) {
+				for c := 0; c < 2; c++ {
+					if err := r.ch.Chip(c).SeedPage(onfi.RowAddr{}, []byte{1}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.GangRead([]int{0, 1}, onfi.Addr{}, 0, 256), Chip: 0, ExtraChips: []int{1}}
+			}},
+		{name: "GangProgram",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.GangProgram([]int{0, 1}, onfi.Addr{Row: onfi.RowAddr{Block: 4}}, 0, 256), Chip: 0, ExtraChips: []int{1}}
+			}},
+		{name: "EraseWithSuspend",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{Block: 2}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{
+					Func: ops.EraseWithSuspend(5, onfi.Addr{Row: onfi.RowAddr{Block: 2}}, 0, 256, params.TBERS/4),
+					Chip: 0,
+				}
+			}},
+		{name: "BootSequence",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.BootSequence(params.IDBytes[:2], 0x15), Chip: 0}
+			}},
+		{name: "ReadParameterPage",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.ReadParameterPage(&parsed), Chip: 0}
+			}},
+		{name: "CalibratePhase",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.CalibratePhase(16, &phase), Chip: 0}
+			}},
+		{name: "CopybackPage",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{Block: 2}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.CopybackPage(onfi.RowAddr{Block: 2}, onfi.RowAddr{Block: 6}), Chip: 0}
+			}},
+		{name: "MPReadPages",
+			prep: func(r *rig) { seed(r, onfi.RowAddr{Block: 0}, onfi.RowAddr{Block: 1}) },
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.MPReadPages([]onfi.RowAddr{{Block: 0}, {Block: 1}}, 0, 256), Chip: 0}
+			}},
+		{name: "MPProgramPages",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.MPProgramPages([]onfi.RowAddr{{Block: 4}, {Block: 5}}, 0, 256), Chip: 0}
+			}},
+		{name: "MPEraseBlocks",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{Func: ops.MPEraseBlocks([]int{2, 3}), Chip: 0}
+			}},
+		{name: "InterruptibleErase",
+			req: func(r *rig) core.OpRequest {
+				return core.OpRequest{
+					Func: ops.InterruptibleErase(1, func() (ops.UrgentRead, bool) { return ops.UrgentRead{}, false }),
+					Chip: 0,
+				}
+			}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := newRig(t, 2, params)
+			if c.prep != nil {
+				c.prep(r)
+			}
+			err := r.run(t, c.req(r))
+			if err != nil && !c.allow {
+				t.Fatalf("operation failed: %v", err)
+			}
+			chk := wave.NewChecker(r.ch.Timing(), r.ch.Config())
+			if vs := chk.Check(r.ch.Recorder().Segments()); len(vs) != 0 {
+				t.Errorf("%d ONFI violations:", len(vs))
+				for _, v := range vs {
+					t.Errorf("  %v", v)
+				}
+			}
+			// Nothing may linger: the channel drains completely.
+			if r.ctrl.Pending() != 0 {
+				t.Error("operations still pending after drain")
+			}
+			_ = sim.Time(0)
+		})
+	}
+}

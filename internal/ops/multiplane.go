@@ -1,0 +1,163 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/onfi"
+)
+
+// Multi-plane operations: one LUN runs the same array operation on every
+// plane concurrently, so N planes deliver N pages in a single tR (or
+// tPROG/tBERS). These are exactly the package-specific "advanced
+// commands" the paper argues software-defined controllers should absorb:
+// each is a short composition over the same five µFSMs.
+
+// checkPlanes validates that rows hit pairwise distinct planes.
+func checkPlanes(g onfi.Geometry, rows []onfi.RowAddr) error {
+	if len(rows) < 2 {
+		return fmt.Errorf("ops: multi-plane operation needs ≥2 rows, got %d", len(rows))
+	}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if err := g.CheckAddr(onfi.Addr{Row: r}); err != nil {
+			return err
+		}
+		p := g.PlaneOf(r.Block)
+		if seen[p] {
+			return fmt.Errorf("ops: rows %v reuse plane %d", rows, p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// MPReadPages reads one page per plane concurrently: queue each row with
+// 32h, confirm the last with 30h (one shared tR), then select each plane
+// with CHANGE READ COLUMN ENHANCED and stream it out. Pages land
+// contiguously in DRAM at dramAddr.
+func MPReadPages(rows []onfi.RowAddr, dramAddr, pageBytes int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := checkPlanes(g, rows); err != nil {
+			return err
+		}
+		// Queue every plane but the last; each 32h costs one tDBSY.
+		for _, r := range rows[:len(rows)-1] {
+			ctx.CmdAddr(readLatches(g, onfi.Addr{Row: r}, onfi.CmdMPReadQueue)...)
+			if res := ctx.Submit(); res.Err != nil {
+				return res.Err
+			}
+			if _, err := pollReady(ctx, chip); err != nil {
+				return err
+			}
+		}
+		// Final plane confirms with 30h: all planes fetch together.
+		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: rows[len(rows)-1]}, onfi.CmdRead2)...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: multi-plane read reported FAIL")
+		}
+		// Stream each plane out: 06h + full address + E0h selects the
+		// plane, then the data burst.
+		for i, r := range rows {
+			var latches []onfi.Latch
+			latches = append(latches, onfi.CmdLatch(onfi.CmdChangeReadColE1))
+			latches = append(latches, g.AddrLatches(onfi.Addr{Row: r})...)
+			latches = append(latches, onfi.CmdLatch(onfi.CmdChangeReadCol2))
+			ctx.CmdAddr(latches...)
+			ctx.ReadData(dramAddr+i*pageBytes, pageBytes)
+			if i == len(rows)-1 {
+				if res := ctx.SubmitFinal(); res.Err != nil {
+					return res.Err
+				}
+			} else if res := ctx.Submit(); res.Err != nil {
+				return res.Err
+			}
+		}
+		return nil
+	}
+}
+
+// MPProgramPages programs one page per plane concurrently: stage each
+// plane's data with 80h…11h, confirm the last with 10h, and pay tPROG
+// once. Source pages sit contiguously in DRAM at dramAddr.
+func MPProgramPages(rows []onfi.RowAddr, dramAddr, pageBytes int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := checkPlanes(g, rows); err != nil {
+			return err
+		}
+		for i, r := range rows {
+			var latches []onfi.Latch
+			latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
+			latches = append(latches, g.AddrLatches(onfi.Addr{Row: r})...)
+			ctx.CmdAddr(latches...)
+			ctx.WriteData(dramAddr+i*pageBytes, pageBytes)
+			if i < len(rows)-1 {
+				ctx.CmdAddr(onfi.CmdLatch(onfi.CmdMPProgramQueue))
+				if res := ctx.Submit(); res.Err != nil {
+					return res.Err
+				}
+				if _, err := pollReady(ctx, chip); err != nil {
+					return err
+				}
+			} else {
+				ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))
+				if res := ctx.Submit(); res.Err != nil {
+					return res.Err
+				}
+			}
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: multi-plane program reported FAIL")
+		}
+		return nil
+	}
+}
+
+// MPEraseBlocks erases one block per plane concurrently: repeated
+// 60h+row bursts, one D0h confirm, one shared tBERS.
+func MPEraseBlocks(blocks []int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		rows := make([]onfi.RowAddr, len(blocks))
+		for i, b := range blocks {
+			rows[i] = onfi.RowAddr{Block: b}
+		}
+		if err := checkPlanes(g, rows); err != nil {
+			return err
+		}
+		var latches []onfi.Latch
+		for _, r := range rows {
+			latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
+			latches = append(latches, g.RowLatches(r)...)
+		}
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
+		ctx.CmdAddr(latches...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: multi-plane erase of %v reported FAIL", blocks)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,322 @@
+// Package ops is BABOL's operation library: ONFI standard and
+// vendor-advanced flash operations written against the core.Ctx software
+// environment. Each operation is plain sequential code that composes
+// µFSM instructions into transactions and yields at Submit — the Go
+// rendering of the paper's Figure 8 algorithms.
+//
+// Operations nest naturally: ReadPage calls the same pollReady helper an
+// SSD Architect would reuse, exactly as Algorithm 2 invokes Algorithm 1.
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// ReadStatus issues one READ STATUS against chip from within a running
+// operation and returns the status byte. It is the building block of
+// Algorithm 1: a command latch for 0x70 followed by a one-byte data read.
+func ReadStatus(ctx *core.Ctx, chip int) (byte, error) {
+	ctx.Chip(bus.Mask(chip))
+	ctx.Cmd(onfi.CmdReadStatus)
+	ctx.ReadCapture(1)
+	res := ctx.Submit()
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	if len(res.Captured) != 1 {
+		return 0, fmt.Errorf("ops: read status captured %d bytes", len(res.Captured))
+	}
+	return res.Captured[0], nil
+}
+
+// pollReady polls READ STATUS until the chip reports ready (Algorithm 2
+// lines 7..9: SSD Architects poll for the end of tR rather than use a
+// fixed wait, because tR is highly variable). It returns the final
+// status byte so callers can inspect FAIL bits.
+func pollReady(ctx *core.Ctx, chip int) (byte, error) {
+	for {
+		s, err := ReadStatus(ctx, chip)
+		if err != nil {
+			return 0, err
+		}
+		if s&onfi.StatusRDY != 0 {
+			return s, nil
+		}
+	}
+}
+
+// pollArrayReady polls READ STATUS until the flash array itself is idle
+// (ARDY). Cache operations key off ARDY rather than RDY: the LUN stays
+// RDY for cache-register transfers while the array fetches the next page.
+func pollArrayReady(ctx *core.Ctx, chip int) (byte, error) {
+	for {
+		s, err := ReadStatus(ctx, chip)
+		if err != nil {
+			return 0, err
+		}
+		if s&onfi.StatusARDY != 0 {
+			return s, nil
+		}
+	}
+}
+
+// readLatches builds the READ.1 + 5-address + confirm burst.
+func readLatches(g onfi.Geometry, a onfi.Addr, confirm onfi.Cmd) []onfi.Latch {
+	out := make([]onfi.Latch, 0, 7)
+	out = append(out, onfi.CmdLatch(onfi.CmdRead1))
+	out = append(out, g.AddrLatches(a)...)
+	out = append(out, onfi.CmdLatch(confirm))
+	return out
+}
+
+// changeColumnLatches builds the 0x05 + column + 0xE0 burst.
+func changeColumnLatches(col onfi.ColAddr) []onfi.Latch {
+	cb := onfi.EncodeColAddr(col)
+	return []onfi.Latch{
+		onfi.CmdLatch(onfi.CmdChangeReadCol1),
+		onfi.AddrLatch(cb[0]), onfi.AddrLatch(cb[1]),
+		onfi.CmdLatch(onfi.CmdChangeReadCol2),
+	}
+}
+
+// ReadPage returns the READ operation with a Column Address Change
+// (Algorithm 2): latch command+address, poll status through tR, then
+// change the read column to addr.Col and transfer n bytes into DRAM at
+// dramAddr.
+func ReadPage(addr onfi.Addr, dramAddr, n int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		// Transaction 1: command + page address + confirm (starts tR).
+		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		// Poll for tR completion.
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: read at %+v reported FAIL", addr.Row)
+		}
+		// Transaction 2 (final): select the column and stream the data
+		// out. The Final tag lets a staged successor start the instant
+		// the transfer leaves the channel.
+		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.ReadData(dramAddr, n)
+		if res := ctx.SubmitFinal(); res.Err != nil {
+			return res.Err
+		}
+		return nil
+	}
+}
+
+// ReadPageSLC is the pseudo-SLC READ variation (Algorithm 3): identical
+// to ReadPage except the vendor pSLC preamble precedes the command latch,
+// trading capacity for speed and endurance.
+func ReadPageSLC(addr onfi.Addr, dramAddr, n int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		// The only difference from ReadPage (the paper greys exactly
+		// this): a pSLC enable latch ahead of READ.1.
+		latches := append([]onfi.Latch{onfi.CmdLatch(onfi.CmdPSLCEnable)},
+			readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		ctx.CmdAddr(latches...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: pSLC read at %+v reported FAIL", addr.Row)
+		}
+		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.ReadData(dramAddr, n)
+		if res := ctx.SubmitFinal(); res.Err != nil {
+			return res.Err
+		}
+		return nil
+	}
+}
+
+// ReadPageFixedWait is the naive READ variant that spends a fixed tR-long
+// sleep instead of polling. It demonstrates Timer-style inter-segment
+// waits and serves as the ablation baseline for the polling design.
+func ReadPageFixedWait(addr onfi.Addr, dramAddr, n int, wait sim.Duration) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		ctx.Sleep(wait)
+		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.ReadData(dramAddr, n)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		return nil
+	}
+}
+
+// ProgramPage returns the PAGE PROGRAM operation: latch command+address,
+// stream n bytes from DRAM at dramAddr, confirm, and poll through tPROG.
+func ProgramPage(addr onfi.Addr, dramAddr, n int) core.OpFunc {
+	return programPage(addr, dramAddr, n, false)
+}
+
+// ProgramPageSLC is the pSLC PROGRAM variation.
+func ProgramPageSLC(addr onfi.Addr, dramAddr, n int) core.OpFunc {
+	return programPage(addr, dramAddr, n, true)
+}
+
+func programPage(addr onfi.Addr, dramAddr, n int, slc bool) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		if err := g.CheckAddr(addr); err != nil {
+			return err
+		}
+		var latches []onfi.Latch
+		if slc {
+			latches = append(latches, onfi.CmdLatch(onfi.CmdPSLCEnable))
+		}
+		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
+		latches = append(latches, g.AddrLatches(addr)...)
+		ctx.CmdAddr(latches...)
+		ctx.WriteData(dramAddr, n)
+		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: program at %+v reported FAIL", addr.Row)
+		}
+		return nil
+	}
+}
+
+// EraseBlock returns the BLOCK ERASE operation: command + 3-cycle row
+// address + confirm, then poll through tBERS.
+func EraseBlock(block int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		chip := ctx.ChipIndex()
+		g := ctx.Geometry()
+		row := onfi.RowAddr{Block: block}
+		if err := g.CheckAddr(onfi.Addr{Row: row}); err != nil {
+			return err
+		}
+		var latches []onfi.Latch
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
+		latches = append(latches, g.RowLatches(row)...)
+		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
+		ctx.CmdAddr(latches...)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		s, err := pollReady(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusFail != 0 {
+			return fmt.Errorf("ops: erase of block %d reported FAIL", block)
+		}
+		return nil
+	}
+}
+
+// ReadID returns the READ ID operation, capturing n identifier bytes.
+// The captured bytes are delivered through out.
+func ReadID(out *[]byte, n int) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdReadID), onfi.AddrLatch(0))
+		ctx.ReadCapture(n)
+		res := ctx.Submit()
+		if res.Err != nil {
+			return res.Err
+		}
+		*out = append((*out)[:0], res.Captured...)
+		return nil
+	}
+}
+
+// Reset returns the RESET operation: issue 0xFF and poll until the LUN
+// comes back.
+func Reset() core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		ctx.Cmd(onfi.CmdReset)
+		if res := ctx.Submit(); res.Err != nil {
+			return res.Err
+		}
+		_, err := pollReady(ctx, ctx.ChipIndex())
+		return err
+	}
+}
+
+// SetFeature returns the SET FEATURES operation. The waveform needs a
+// tADL pause between the address cycle and the four parameter bytes —
+// the Timer µFSM's canonical use (paper §IV-A).
+func SetFeature(feat onfi.FeatureAddr, value [4]byte) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		return setFeature(ctx, feat, value)
+	}
+}
+
+// setFeature is the nestable body of SetFeature.
+func setFeature(ctx *core.Ctx, feat onfi.FeatureAddr, value [4]byte) error {
+	tm := ctx.Controller().Channel().Timing()
+	ctx.CmdAddr(onfi.CmdLatch(onfi.CmdSetFeatures), onfi.AddrLatch(byte(feat)))
+	ctx.Wait(tm.TADL)
+	// The four parameter bytes travel over a dedicated DRAM scratch
+	// window staged by the controller.
+	scratch, err := ctx.Scratch(4)
+	if err != nil {
+		return err
+	}
+	copy(scratch.Bytes, value[:])
+	ctx.WriteData(scratch.Addr, 4)
+	if res := ctx.Submit(); res.Err != nil {
+		return res.Err
+	}
+	_, err = pollReady(ctx, ctx.ChipIndex())
+	return err
+}
+
+// GetFeature returns the GET FEATURES operation, delivering the four
+// parameter bytes through out.
+func GetFeature(feat onfi.FeatureAddr, out *[4]byte) core.OpFunc {
+	return func(ctx *core.Ctx) error {
+		tm := ctx.Controller().Channel().Timing()
+		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdGetFeatures), onfi.AddrLatch(byte(feat)))
+		ctx.Wait(tm.TADL)
+		ctx.ReadCapture(4)
+		res := ctx.Submit()
+		if res.Err != nil {
+			return res.Err
+		}
+		copy(out[:], res.Captured)
+		return nil
+	}
+}

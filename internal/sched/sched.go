@@ -1,0 +1,399 @@
+// Package sched provides the pluggable scheduling policies of BABOL's
+// Operation Scheduling module: Task schedulers decide which admitted
+// operation the firmware resumes next, and Transaction schedulers decide
+// the order in which queued transactions take the channel.
+//
+// BABOL deliberately does not mandate an objective for either scheduler
+// (paper §V); the controller accepts any implementation of the two queue
+// interfaces. This package ships the policies used in the evaluation —
+// FIFO, chip-fair round-robin, priority — plus a shortest-segment-first
+// transaction policy for the ablation benches.
+package sched
+
+import (
+	"container/heap"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+// Task is what a task scheduler orders: a runnable operation.
+type Task interface {
+	// TaskID is a unique, monotonically assigned operation ID.
+	TaskID() uint64
+	// TaskChip is the operation's primary chip, used by fairness policies.
+	TaskChip() int
+	// TaskPriority is interpreted by priority policies; larger runs first.
+	TaskPriority() int
+}
+
+// TaskQueue orders runnable operations.
+type TaskQueue interface {
+	Name() string
+	Push(Task)
+	Pop() Task // nil when empty
+	Len() int
+}
+
+// TxnQueue orders executable transactions.
+type TxnQueue interface {
+	Name() string
+	Push(*txn.Transaction)
+	Pop() *txn.Transaction // nil when empty
+	Len() int
+}
+
+// ---------------------------------------------------------------- FIFO --
+
+type taskFIFO struct{ q []Task }
+
+// NewTaskFIFO returns a first-come-first-served task scheduler.
+func NewTaskFIFO() TaskQueue { return &taskFIFO{} }
+
+func (f *taskFIFO) Name() string { return "fifo" }
+func (f *taskFIFO) Push(t Task)  { f.q = append(f.q, t) }
+func (f *taskFIFO) Len() int     { return len(f.q) }
+func (f *taskFIFO) Pop() Task {
+	if len(f.q) == 0 {
+		return nil
+	}
+	t := f.q[0]
+	f.q[0] = nil
+	f.q = f.q[1:]
+	return t
+}
+
+type txnFIFO struct{ q []*txn.Transaction }
+
+// NewTxnFIFO returns a first-come-first-served transaction scheduler.
+func NewTxnFIFO() TxnQueue { return &txnFIFO{} }
+
+func (f *txnFIFO) Name() string            { return "fifo" }
+func (f *txnFIFO) Push(t *txn.Transaction) { f.q = append(f.q, t) }
+func (f *txnFIFO) Len() int                { return len(f.q) }
+func (f *txnFIFO) Pop() *txn.Transaction {
+	if len(f.q) == 0 {
+		return nil
+	}
+	t := f.q[0]
+	f.q[0] = nil
+	f.q = f.q[1:]
+	return t
+}
+
+// --------------------------------------------------------- round robin --
+
+// roundRobin services per-chip FIFOs in rotating order, so no chip's
+// operations can starve the others even under asymmetric load.
+type taskRR struct {
+	perChip map[int][]Task
+	order   []int
+	next    int
+	n       int
+}
+
+// NewTaskRoundRobin returns a chip-fair round-robin task scheduler.
+func NewTaskRoundRobin() TaskQueue { return &taskRR{perChip: make(map[int][]Task)} }
+
+func (r *taskRR) Name() string { return "round-robin" }
+func (r *taskRR) Len() int     { return r.n }
+
+func (r *taskRR) Push(t Task) {
+	chip := t.TaskChip()
+	if _, ok := r.perChip[chip]; !ok {
+		r.order = append(r.order, chip)
+	}
+	r.perChip[chip] = append(r.perChip[chip], t)
+	r.n++
+}
+
+func (r *taskRR) Pop() Task {
+	if r.n == 0 {
+		return nil
+	}
+	for i := 0; i < len(r.order); i++ {
+		chip := r.order[(r.next+i)%len(r.order)]
+		if q := r.perChip[chip]; len(q) > 0 {
+			t := q[0]
+			q[0] = nil
+			r.perChip[chip] = q[1:]
+			r.next = (r.next + i + 1) % len(r.order)
+			r.n--
+			return t
+		}
+	}
+	return nil
+}
+
+type txnRR struct {
+	perChip map[int][]*txn.Transaction
+	order   []int
+	next    int
+	n       int
+}
+
+// NewTxnRoundRobin returns a chip-fair round-robin transaction scheduler
+// — the "simple version" the paper describes.
+func NewTxnRoundRobin() TxnQueue { return &txnRR{perChip: make(map[int][]*txn.Transaction)} }
+
+func (r *txnRR) Name() string { return "round-robin" }
+func (r *txnRR) Len() int     { return r.n }
+
+func (r *txnRR) Push(t *txn.Transaction) {
+	if _, ok := r.perChip[t.Chip]; !ok {
+		r.order = append(r.order, t.Chip)
+	}
+	r.perChip[t.Chip] = append(r.perChip[t.Chip], t)
+	r.n++
+}
+
+func (r *txnRR) Pop() *txn.Transaction {
+	if r.n == 0 {
+		return nil
+	}
+	for i := 0; i < len(r.order); i++ {
+		chip := r.order[(r.next+i)%len(r.order)]
+		if q := r.perChip[chip]; len(q) > 0 {
+			t := q[0]
+			q[0] = nil
+			r.perChip[chip] = q[1:]
+			r.next = (r.next + i + 1) % len(r.order)
+			r.n--
+			return t
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ priority --
+
+type taskPrioItem struct {
+	t   Task
+	seq uint64
+}
+
+type taskPrio struct {
+	h   []taskPrioItem
+	seq uint64
+}
+
+// NewTaskPriority returns a priority task scheduler: higher TaskPriority
+// first, FIFO within a priority level. The paper's example use is giving
+// latency-sensitive workloads (database logging) more attention.
+func NewTaskPriority() TaskQueue { return &taskPrio{} }
+
+func (p *taskPrio) Name() string { return "priority" }
+func (p *taskPrio) Len() int     { return len(p.h) }
+
+func (p *taskPrio) less(i, j int) bool {
+	a, b := p.h[i], p.h[j]
+	if a.t.TaskPriority() != b.t.TaskPriority() {
+		return a.t.TaskPriority() > b.t.TaskPriority()
+	}
+	return a.seq < b.seq
+}
+
+func (p *taskPrio) Push(t Task) {
+	p.seq++
+	p.h = append(p.h, taskPrioItem{t: t, seq: p.seq})
+	p.up(len(p.h) - 1)
+}
+
+func (p *taskPrio) Pop() Task {
+	if len(p.h) == 0 {
+		return nil
+	}
+	top := p.h[0]
+	last := len(p.h) - 1
+	p.h[0] = p.h[last]
+	p.h[last] = taskPrioItem{}
+	p.h = p.h[:last]
+	if len(p.h) > 0 {
+		p.down(0)
+	}
+	return top.t
+}
+
+func (p *taskPrio) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.less(i, parent) {
+			return
+		}
+		p.h[i], p.h[parent] = p.h[parent], p.h[i]
+		i = parent
+	}
+}
+
+func (p *taskPrio) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(p.h) && p.less(l, small) {
+			small = l
+		}
+		if r < len(p.h) && p.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		p.h[i], p.h[small] = p.h[small], p.h[i]
+		i = small
+	}
+}
+
+// txnPrio orders transactions by Priority (desc), then enqueue order.
+type txnPrioHeap struct {
+	items []*txn.Transaction
+	seqs  []uint64
+	seq   uint64
+}
+
+func (h *txnPrioHeap) Len() int { return len(h.items) }
+func (h *txnPrioHeap) Less(i, j int) bool {
+	if h.items[i].Priority != h.items[j].Priority {
+		return h.items[i].Priority > h.items[j].Priority
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+func (h *txnPrioHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
+}
+func (h *txnPrioHeap) Push(x interface{}) {
+	h.seq++
+	h.items = append(h.items, x.(*txn.Transaction))
+	h.seqs = append(h.seqs, h.seq)
+}
+func (h *txnPrioHeap) Pop() interface{} {
+	n := len(h.items)
+	t := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	h.seqs = h.seqs[:n-1]
+	return t
+}
+
+type txnPrio struct{ h txnPrioHeap }
+
+// NewTxnPriority returns a priority transaction scheduler: transactions
+// with larger Priority take the channel first.
+func NewTxnPriority() TxnQueue { return &txnPrio{} }
+
+func (p *txnPrio) Name() string            { return "priority" }
+func (p *txnPrio) Len() int                { return p.h.Len() }
+func (p *txnPrio) Push(t *txn.Transaction) { heap.Push(&p.h, t) }
+func (p *txnPrio) Pop() *txn.Transaction {
+	if p.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(*txn.Transaction)
+}
+
+// --------------------------------------------------------- issue first --
+
+// txnClass classifies a transaction for the issue-first policy.
+func isIssueTxn(t *txn.Transaction) bool {
+	for _, in := range t.Instrs {
+		switch in.(type) {
+		case txn.DataRead, txn.DataWrite:
+			return false
+		}
+	}
+	return true
+}
+
+type txnIssueFirst struct {
+	issues []*txn.Transaction
+	rest   TxnQueue
+}
+
+// NewTxnIssueFirst returns the transaction scheduler BABOL uses by
+// default: command-issue transactions (latch bursts with no data phase)
+// jump ahead of everything else, because they last well under a
+// microsecond and start long LUN-internal work — the "prioritize
+// commands" policy the paper sketches in §V. Data transfers and status
+// polls share the channel round-robin per chip; in particular, polls do
+// NOT jump the queue, which is what makes them cheap on a busy channel
+// (§VI-C: a queued poll usually executes after tR already expired).
+func NewTxnIssueFirst() TxnQueue {
+	return &txnIssueFirst{rest: NewTxnRoundRobin()}
+}
+
+func (q *txnIssueFirst) Name() string { return "issue-first" }
+func (q *txnIssueFirst) Len() int     { return len(q.issues) + q.rest.Len() }
+
+func (q *txnIssueFirst) Push(t *txn.Transaction) {
+	if isIssueTxn(t) {
+		q.issues = append(q.issues, t)
+		return
+	}
+	q.rest.Push(t)
+}
+
+func (q *txnIssueFirst) Pop() *txn.Transaction {
+	if len(q.issues) > 0 {
+		t := q.issues[0]
+		q.issues[0] = nil
+		q.issues = q.issues[1:]
+		return t
+	}
+	return q.rest.Pop()
+}
+
+// ------------------------------------------------------ shortest first --
+
+type txnShortItem struct {
+	t   *txn.Transaction
+	d   sim.Duration
+	seq uint64
+}
+
+type txnShortHeap []txnShortItem
+
+func (h txnShortHeap) Len() int { return len(h) }
+func (h txnShortHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].seq < h[j].seq
+}
+func (h txnShortHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *txnShortHeap) Push(x interface{}) { *h = append(*h, x.(txnShortItem)) }
+func (h *txnShortHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = txnShortItem{}
+	*h = old[:n-1]
+	return it
+}
+
+type txnShortest struct {
+	h   txnShortHeap
+	tm  onfi.Timing
+	cfg onfi.BusConfig
+	seq uint64
+}
+
+// NewTxnShortestFirst returns a transaction scheduler that runs the
+// shortest estimated segment first — it keeps short status polls flowing
+// between long data transfers. Used by the ablation benches.
+func NewTxnShortestFirst(tm onfi.Timing, cfg onfi.BusConfig) TxnQueue {
+	return &txnShortest{tm: tm, cfg: cfg}
+}
+
+func (s *txnShortest) Name() string { return "shortest-first" }
+func (s *txnShortest) Len() int     { return s.h.Len() }
+func (s *txnShortest) Push(t *txn.Transaction) {
+	s.seq++
+	heap.Push(&s.h, txnShortItem{t: t, d: t.EstimateDuration(s.tm, s.cfg), seq: s.seq})
+}
+func (s *txnShortest) Pop() *txn.Transaction {
+	if s.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&s.h).(txnShortItem).t
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. The function runs at the event's
+// virtual time; it may schedule further events.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func()
+	id  EventID
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event simulator. Events scheduled for
+// the same instant fire in the order they were scheduled. Kernel is not
+// safe for concurrent use; the entire simulation runs on one goroutine
+// (operation coroutines hand control back and forth synchronously).
+type Kernel struct {
+	now       Time
+	pq        eventHeap
+	seq       uint64
+	cancelled map[EventID]bool
+	running   bool
+	executed  uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{cancelled: make(map[EventID]bool)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have fired so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are scheduled (including cancelled ones
+// not yet reaped).
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug.
+func (k *Kernel) At(t Time, fn func()) EventID {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, k.now))
+	}
+	k.seq++
+	id := EventID(k.seq)
+	heap.Push(&k.pq, &event{at: t, seq: k.seq, fn: fn, id: id})
+	return id
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (k *Kernel) Cancel(id EventID) { k.cancelled[id] = true }
+
+// Step fires the single earliest pending event. It reports false if no
+// events remain.
+func (k *Kernel) Step() bool {
+	for len(k.pq) > 0 {
+		e := heap.Pop(&k.pq).(*event)
+		if k.cancelled[e.id] {
+			delete(k.cancelled, e.id)
+			continue
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (k *Kernel) Run() {
+	k.running = true
+	for k.running && k.Step() {
+	}
+	k.running = false
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain pending.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.running = true
+	for k.running {
+		e := k.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	k.running = false
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d of virtual time from now.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+// Stop makes a Run/RunUntil in progress return after the current event.
+// It may be called from inside an event function.
+func (k *Kernel) Stop() { k.running = false }
+
+func (k *Kernel) peek() *event {
+	for len(k.pq) > 0 {
+		e := k.pq[0]
+		if !k.cancelled[e.id] {
+			return e
+		}
+		heap.Pop(&k.pq)
+		delete(k.cancelled, e.id)
+	}
+	return nil
+}

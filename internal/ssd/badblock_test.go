@@ -1,0 +1,84 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/hic"
+)
+
+// TestGrownBadBlocksAreTransparent marks several factory-bad blocks and
+// verifies the host never sees a program failure: the FTL retires them
+// and retries on healthy blocks.
+func TestGrownBadBlocksAreTransparent(t *testing.T) {
+	cfg := smallBuild(CtrlBabolRTOS)
+	cfg.Ways = 2
+	rig := mustBuild(t, cfg)
+	// Grow a realistic number of bad blocks at the media level: programs
+	// to them will FAIL. (Retiring more than the over-provisioning can
+	// absorb would legitimately shrink the drive below its logical
+	// capacity.)
+	rig.Channel.Chip(0).MarkBad(0)
+	rig.Channel.Chip(0).MarkBad(7)
+	rig.Channel.Chip(1).MarkBad(3)
+	logical := rig.FTL.LogicalPages() * 3 / 4
+	res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+		Pattern: hic.Sequential, Kind: hic.KindWrite,
+		NumOps: logical, QueueDepth: 2, LogicalPages: logical,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Kernel.Run()
+	if res.Failed != 0 {
+		t.Fatalf("%d host writes failed despite retirement", res.Failed)
+	}
+	if res.Completed != logical {
+		t.Fatalf("completed %d/%d", res.Completed, logical)
+	}
+	if rig.FTL.Stats().BadBlocks == 0 {
+		t.Error("no blocks retired")
+	}
+	if err := rig.FTL.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything written is readable and correct.
+	buf := make([]byte, 512)
+	for lpn := 0; lpn < logical; lpn++ {
+		loc, ok := rig.FTL.Lookup(lpn)
+		if !ok {
+			t.Fatalf("LPN %d unmapped", lpn)
+		}
+		data, err := rig.SSD.backend.Chip(loc.Chip).PeekPage(loc.Row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		FillPattern(buf, lpn)
+		for i := range buf {
+			if data[i] != buf[i] {
+				t.Fatalf("LPN %d corrupt at byte %d", lpn, i)
+			}
+		}
+	}
+}
+
+// TestRetireBlockBookkeeping exercises the FTL-level retirement paths.
+func TestRetireBlockBookkeeping(t *testing.T) {
+	cfg := smallBuild(CtrlHW)
+	rig := mustBuild(t, cfg)
+	f := rig.FTL
+	free := f.FreeBlocks(0)
+	f.RetireBlock(0, 5)
+	if f.FreeBlocks(0) != free-1 {
+		t.Errorf("free blocks %d, want %d", f.FreeBlocks(0), free-1)
+	}
+	f.RetireBlock(0, 5) // idempotent
+	if f.Stats().BadBlocks != 1 {
+		t.Errorf("BadBlocks = %d", f.Stats().BadBlocks)
+	}
+	f.RetireBlock(-1, 0)  // no-ops
+	f.RetireBlock(0, 999) // no-ops
+	f.RetireBlock(99, 0)  // no-ops
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/dram"
+	"repro/internal/ftl"
+	"repro/internal/hwctrl"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/wave"
+)
+
+// ControllerKind selects which channel controller the SSD uses.
+type ControllerKind uint8
+
+const (
+	// CtrlHW is the hardware baseline (the paper's "HW" / Cosmos+).
+	CtrlHW ControllerKind = iota
+	// CtrlBabolRTOS is BABOL on the RTOS software environment.
+	CtrlBabolRTOS
+	// CtrlBabolCoro is BABOL on the coroutine software environment.
+	CtrlBabolCoro
+)
+
+func (k ControllerKind) String() string {
+	switch k {
+	case CtrlHW:
+		return "HW"
+	case CtrlBabolRTOS:
+		return "RTOS"
+	default:
+		return "Coro"
+	}
+}
+
+// BuildConfig describes a complete SSD: one or more channels, each with
+// its own bus and controller, striped by a shared FTL.
+type BuildConfig struct {
+	Params         nand.Params    // package preset (geometry, timings)
+	Channels       int            // independent channels (default 1)
+	Ways           int            // LUNs per channel (defaults to preset wiring)
+	RateMT         int            // channel speed in MT/s (default 200)
+	Controller     ControllerKind // which controller drives the channel
+	CPUMHz         int            // firmware clock for BABOL controllers (default 1000)
+	ReservedBlocks int            // FTL over-provisioning per chip (default 2)
+	Slots          int            // in-flight DRAM staging slots (default 2×ways)
+	WithECC        bool
+	// UseCopyback relocates GC pages with NAND copyback (BABOL only).
+	UseCopyback bool
+	// SuspendReads lets host reads preempt GC erases (BABOL only).
+	SuspendReads bool
+	Record       bool // capture the channel waveform
+	// TxnQueue overrides BABOL's transaction scheduler (default RR).
+	TxnQueue sched.TxnQueue
+}
+
+// Rig is a fully wired SSD plus handles to its parts. The singular
+// Channel/Babol/HW fields alias channel 0 for the common single-channel
+// case; the slices cover every channel.
+type Rig struct {
+	Kernel  *sim.Kernel
+	Channel *bus.Channel
+	DRAM    *dram.Buffer
+	SSD     *SSD
+	FTL     *ftl.FTL
+
+	Channels []*bus.Channel
+
+	// Babol is non-nil for BABOL controller kinds.
+	Babol  *core.Controller
+	Babols []*core.Controller
+	// HW is non-nil for the hardware baseline.
+	HW  *hwctrl.Controller
+	HWs []*hwctrl.Controller
+}
+
+// Close releases controller resources (coroutine goroutines).
+func (r *Rig) Close() {
+	for _, c := range r.Babols {
+		c.Close()
+	}
+}
+
+// Build assembles an SSD per cfg.
+func Build(cfg BuildConfig) (*Rig, error) {
+	if cfg.Params.Name == "" {
+		cfg.Params = nand.Hynix()
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = cfg.Params.LUNsPerChannel
+	}
+	if cfg.RateMT == 0 {
+		cfg.RateMT = 200
+	}
+	if cfg.CPUMHz == 0 {
+		cfg.CPUMHz = 1000
+	}
+	if cfg.ReservedBlocks == 0 {
+		cfg.ReservedBlocks = 2
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 2 * cfg.Ways * cfg.Channels
+	}
+
+	k := sim.NewKernel()
+	geo := cfg.Params.Geometry
+	slotSize := geo.PageBytes + geo.SpareBytes
+	memSize := cfg.Slots*slotSize + cfg.Channels*(128<<10) // slots + per-controller scratch
+	mem := dram.New(memSize)
+
+	f, err := ftl.New(geo, cfg.Ways*cfg.Channels, cfg.ReservedBlocks)
+	if err != nil {
+		return nil, err
+	}
+	rig := &Rig{Kernel: k, DRAM: mem, FTL: f}
+
+	var backends []Backend
+	for c := 0; c < cfg.Channels; c++ {
+		var rec *wave.Recorder
+		if cfg.Record {
+			rec = wave.NewRecorder()
+		}
+		ch, err := bus.New(k, onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: cfg.RateMT}, onfi.DefaultTiming(), rec)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.Ways; i++ {
+			lun, err := nand.NewLUN(cfg.Params)
+			if err != nil {
+				return nil, err
+			}
+			ch.Attach(lun)
+		}
+		rig.Channels = append(rig.Channels, ch)
+
+		switch cfg.Controller {
+		case CtrlHW:
+			hw := hwctrl.New(k, ch, mem)
+			rig.HWs = append(rig.HWs, hw)
+			backends = append(backends, NewHWBackend(hw))
+		case CtrlBabolRTOS, CtrlBabolCoro:
+			profile := cpumodel.RTOS()
+			if cfg.Controller == CtrlBabolCoro {
+				profile = cpumodel.Coro()
+			}
+			cpu, err := cpumodel.New(k, cfg.CPUMHz, profile)
+			if err != nil {
+				return nil, err
+			}
+			ctrl, err := core.New(core.Config{
+				Kernel: k, Channel: ch, DRAM: mem, CPU: cpu, TxnQueue: cfg.TxnQueue,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rig.Babols = append(rig.Babols, ctrl)
+			backends = append(backends, NewBabolBackend(ctrl))
+		default:
+			return nil, fmt.Errorf("ssd: unknown controller kind %d", cfg.Controller)
+		}
+	}
+	rig.Channel = rig.Channels[0]
+	if len(rig.Babols) > 0 {
+		rig.Babol = rig.Babols[0]
+	}
+	if len(rig.HWs) > 0 {
+		rig.HW = rig.HWs[0]
+	}
+	var backend Backend
+	if cfg.Channels == 1 {
+		backend = backends[0]
+	} else {
+		backend = NewMultiBackend(cfg.Ways, backends)
+	}
+
+	drive, err := New(Config{
+		Kernel: k, Backend: backend, FTL: f, DRAM: mem,
+		SlotBase: 0, Slots: cfg.Slots, WithECC: cfg.WithECC,
+		UseCopyback: cfg.UseCopyback, SuspendReads: cfg.SuspendReads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rig.SSD = drive
+	return rig, nil
+}

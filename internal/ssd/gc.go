@@ -1,0 +1,127 @@
+package ssd
+
+// Garbage collection: when a chip dips below its free-block watermark,
+// the SSD picks the emptiest sealed block (greedy, via the FTL), copies
+// its live pages to fresh locations through the controller, and erases
+// the victim. GC runs one block at a time per chip and shares the normal
+// datapath, so it naturally competes with host traffic for the channel.
+
+func (s *SSD) maybeGC(chip int) {
+	if s.gcRunning[chip] || !s.ftl.NeedsGC(chip) {
+		return
+	}
+	block, live, ok := s.ftl.GCCandidate(chip)
+	if !ok {
+		return
+	}
+	if len(live) == s.ftl.Geometry().PagesPerBlk {
+		// Even the emptiest sealed block is fully live: collecting it
+		// would burn one block to free one block. Wait for host
+		// overwrites to create garbage instead of livelocking.
+		return
+	}
+	s.gcRunning[chip] = true
+	s.stats.GCCycles++
+	s.gcMove(chip, block, live, 0)
+}
+
+// gcMove relocates live[idx:] one page at a time, then erases the victim.
+func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
+	if idx >= len(live) {
+		done := func(err error) {
+			if err == nil {
+				s.ftl.OnErased(chip, victim)
+			} else {
+				// The block failed to erase: retire it, or GC would
+				// re-pick the same victim forever.
+				s.ftl.RetireBlock(chip, victim)
+			}
+			// Close the urgent-read window and hand leftovers (reads
+			// that arrived after the erase's last check) to the normal
+			// path.
+			if q := s.eraseQueues[chip]; q != nil {
+				delete(s.eraseQueues, chip)
+				for {
+					ur, ok := q.next()
+					if !ok {
+						break
+					}
+					s.backend.ReadPage(chip, ur.Addr.Row, ur.DramAddr, ur.N, ur.Done)
+				}
+			}
+			s.gcRunning[chip] = false
+			// Retry writes parked on out-of-space, then keep collecting
+			// if still under the watermark.
+			s.drainStalled()
+			s.maybeGC(chip)
+		}
+		if s.suspendReads {
+			if ie, ok := s.backend.(InterruptibleEraser); ok {
+				q := &urgentQueue{}
+				s.eraseQueues[chip] = q
+				ie.EraseBlockInterruptible(chip, victim, q.next, done)
+				return
+			}
+		}
+		s.backend.EraseBlock(chip, victim, done)
+		return
+	}
+	lpn := live[idx]
+	src, ok := s.ftl.Lookup(lpn)
+	if !ok || src.Row.Block != victim || src.Chip != chip {
+		// The host overwrote this page since the candidate snapshot;
+		// nothing to move.
+		s.gcMove(chip, victim, live, idx+1)
+		return
+	}
+	// Copyback path: relocate inside the LUN with no channel data
+	// transfer when the controller supports it.
+	if s.useCopyback {
+		if cb, ok := s.backend.(Copybacker); ok {
+			dst, err := s.ftl.RelocateForGCOn(chip, lpn)
+			if err != nil {
+				s.gcRunning[chip] = false
+				return
+			}
+			s.stats.GCCopybacks++
+			cb.CopybackPage(chip, src.Row, dst.Row, func(err error) {
+				if err != nil {
+					s.ftl.Invalidate(lpn)
+				}
+				s.gcMove(chip, victim, live, idx+1)
+			})
+			return
+		}
+	}
+	s.acquireSlot(func(addr int) {
+		n := s.pageBytes + s.parityBytes
+		s.backend.ReadPage(src.Chip, src.Row, addr, n, func(err error) {
+			if err == nil && s.withECC {
+				// Scrub in transit: correct accumulated bit errors and
+				// regenerate parity, so relocations do not compound raw
+				// errors generation over generation.
+				err = s.scrubECC(addr)
+			}
+			if err != nil {
+				// Unreadable victim page: drop it rather than wedge GC.
+				s.ftl.Invalidate(lpn)
+				s.releaseSlot(addr)
+				s.gcMove(chip, victim, live, idx+1)
+				return
+			}
+			dst, err := s.ftl.RelocateForGC(lpn)
+			if err != nil {
+				s.releaseSlot(addr)
+				s.gcRunning[chip] = false
+				return
+			}
+			s.backend.ProgramPage(dst.Chip, dst.Row, addr, n, func(err error) {
+				s.releaseSlot(addr)
+				if err != nil {
+					s.ftl.Invalidate(lpn)
+				}
+				s.gcMove(chip, victim, live, idx+1)
+			})
+		})
+	})
+}

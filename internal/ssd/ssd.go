@@ -1,0 +1,382 @@
+// Package ssd assembles a complete solid-state drive around one channel:
+// host interface (internal/hic) → FTL (internal/ftl) → a channel
+// controller → NAND packages. The controller slot accepts either the
+// BABOL software-defined controller or the hardware baseline, which is
+// exactly the swap the paper performs on the Cosmos+ OpenSSD for its
+// end-to-end evaluation (Fig. 12).
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/ftl"
+	"repro/internal/hic"
+	"repro/internal/nand"
+	"repro/internal/onfi"
+	"repro/internal/ops"
+	"repro/internal/sim"
+)
+
+// Backend is the page-level controller interface the SSD drives. Both
+// the BABOL controller and the hardware baseline adapt to it.
+type Backend interface {
+	// ReadPage reads n bytes of the page at row on chip into DRAM.
+	ReadPage(chip int, row onfi.RowAddr, dramAddr, n int, done func(error))
+	// ProgramPage programs n bytes from DRAM into the page at row.
+	ProgramPage(chip int, row onfi.RowAddr, dramAddr, n int, done func(error))
+	// EraseBlock erases a block on chip.
+	EraseBlock(chip, block int, done func(error))
+	// Chip exposes the LUN for preloading.
+	Chip(i int) *nand.LUN
+}
+
+// Config assembles an SSD.
+type Config struct {
+	Kernel  *sim.Kernel
+	Backend Backend
+	FTL     *ftl.FTL
+	DRAM    *dram.Buffer
+	// SlotBase/Slots carve the DRAM staging area: Slots in-flight
+	// commands, each with one page-sized buffer at SlotBase.
+	SlotBase int
+	Slots    int
+	// WithECC protects pages with the SEC-DED codec: parity is stored in
+	// the spare area on program and verified/corrected on read.
+	WithECC bool
+	// UseCopyback relocates GC pages with NAND copyback (no channel data
+	// transfer) when the backend supports it. Trades channel time for
+	// skipping the ECC scrub on moved data.
+	UseCopyback bool
+	// SuspendReads lets host reads preempt in-flight GC erases via
+	// erase suspension when the backend supports it — the tail-latency
+	// optimization of [23], [54].
+	SuspendReads bool
+}
+
+// Stats counts SSD-level activity.
+type Stats struct {
+	HostReads      uint64
+	HostWrites     uint64
+	GCCycles       uint64
+	GCCopybacks    uint64
+	UrgentReads    uint64 // reads served inside a suspended erase
+	ECCCorrections uint64
+	ECCFailures    uint64
+}
+
+// SSD is one simulated drive.
+type SSD struct {
+	k       *sim.Kernel
+	backend Backend
+	ftl     *ftl.FTL
+	mem     *dram.Buffer
+	withECC bool
+
+	pageBytes   int
+	parityBytes int
+	slotSize    int
+	slotBase    int
+	freeSlots   []int
+	waiters     []func(int)
+
+	gcRunning    map[int]bool
+	useCopyback  bool
+	suspendReads bool
+	// eraseQueues holds urgent reads for chips with a suspendable erase
+	// in flight.
+	eraseQueues map[int]*urgentQueue
+	// stalledWrites wait for GC to free space.
+	stalledWrites []hic.Command
+
+	stats Stats
+}
+
+// New wires the SSD together.
+func New(cfg Config) (*SSD, error) {
+	if cfg.Kernel == nil || cfg.Backend == nil || cfg.FTL == nil || cfg.DRAM == nil {
+		return nil, fmt.Errorf("ssd: Kernel, Backend, FTL, and DRAM are all required")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("ssd: need at least one DRAM slot")
+	}
+	geo := cfg.FTL.Geometry()
+	parity := 0
+	if cfg.WithECC {
+		parity = ecc.PageParityBytes(geo.PageBytes)
+		if parity > geo.SpareBytes {
+			return nil, fmt.Errorf("ssd: spare area %dB cannot hold %dB of ECC parity", geo.SpareBytes, parity)
+		}
+	}
+	slotSize := geo.PageBytes + parity
+	if _, err := cfg.DRAM.Window(cfg.SlotBase, cfg.Slots*slotSize); err != nil {
+		return nil, fmt.Errorf("ssd: DRAM slots do not fit: %w", err)
+	}
+	s := &SSD{
+		k:            cfg.Kernel,
+		backend:      cfg.Backend,
+		ftl:          cfg.FTL,
+		mem:          cfg.DRAM,
+		withECC:      cfg.WithECC,
+		useCopyback:  cfg.UseCopyback,
+		suspendReads: cfg.SuspendReads,
+		eraseQueues:  make(map[int]*urgentQueue),
+		pageBytes:    geo.PageBytes,
+		parityBytes:  parity,
+		slotSize:     slotSize,
+		slotBase:     cfg.SlotBase,
+		gcRunning:    make(map[int]bool),
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		s.freeSlots = append(s.freeSlots, cfg.SlotBase+i*slotSize)
+	}
+	return s, nil
+}
+
+// FTL exposes the translation layer (read-only use intended).
+func (s *SSD) FTL() *ftl.FTL { return s.ftl }
+
+// Stats returns a snapshot of the counters.
+func (s *SSD) Stats() Stats { return s.stats }
+
+// acquireSlot hands a DRAM staging address to fn, immediately or once a
+// slot frees.
+func (s *SSD) acquireSlot(fn func(addr int)) {
+	if n := len(s.freeSlots); n > 0 {
+		addr := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		fn(addr)
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+func (s *SSD) releaseSlot(addr int) {
+	if len(s.waiters) > 0 {
+		fn := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		fn(addr)
+		return
+	}
+	s.freeSlots = append(s.freeSlots, addr)
+}
+
+// Submit accepts one host command (implements hic.Submitter).
+func (s *SSD) Submit(cmd hic.Command) {
+	switch cmd.Kind {
+	case hic.KindRead:
+		s.stats.HostReads++
+		s.read(cmd)
+	case hic.KindWrite:
+		s.stats.HostWrites++
+		s.write(cmd)
+	default:
+		s.complete(cmd, fmt.Errorf("ssd: unknown command kind %d", cmd.Kind))
+	}
+}
+
+func (s *SSD) complete(cmd hic.Command, err error) {
+	if cmd.Done != nil {
+		cmd.Done(err)
+	}
+}
+
+func (s *SSD) read(cmd hic.Command) {
+	loc, ok := s.ftl.Lookup(cmd.LPN)
+	if !ok {
+		// Reading a never-written page: NVMe returns zeroes; no flash
+		// traffic is generated.
+		s.complete(cmd, nil)
+		return
+	}
+	s.acquireSlot(func(addr int) {
+		n := s.pageBytes + s.parityBytes
+		finish := func(err error) {
+			if err == nil && s.withECC {
+				err = s.decodeECC(addr)
+			}
+			s.releaseSlot(addr)
+			s.complete(cmd, err)
+		}
+		// A suspendable erase on the target chip: jump the queue by
+		// riding the erase operation's urgent-read service instead of
+		// waiting multiple milliseconds behind it.
+		if q := s.eraseQueues[loc.Chip]; q != nil {
+			s.stats.UrgentReads++
+			q.push(ops.UrgentRead{
+				Addr: onfi.Addr{Row: loc.Row}, DramAddr: addr, N: n, Done: finish,
+			})
+			return
+		}
+		s.backend.ReadPage(loc.Chip, loc.Row, addr, n, finish)
+	})
+}
+
+// urgentQueue feeds latency-critical reads to an interruptible erase.
+type urgentQueue struct {
+	items []ops.UrgentRead
+}
+
+func (q *urgentQueue) push(ur ops.UrgentRead) { q.items = append(q.items, ur) }
+
+// next pops the oldest urgent read; the erase operation calls it.
+func (q *urgentQueue) next() (ops.UrgentRead, bool) {
+	if len(q.items) == 0 {
+		return ops.UrgentRead{}, false
+	}
+	ur := q.items[0]
+	q.items[0] = ops.UrgentRead{}
+	q.items = q.items[1:]
+	return ur, true
+}
+
+func (s *SSD) decodeECC(addr int) error {
+	page, err := s.mem.Window(addr, s.pageBytes)
+	if err != nil {
+		return err
+	}
+	parity, err := s.mem.Window(addr+s.pageBytes, s.parityBytes)
+	if err != nil {
+		return err
+	}
+	corrected, err := ecc.DecodePage(page, parity)
+	s.stats.ECCCorrections += uint64(corrected)
+	if err != nil {
+		s.stats.ECCFailures++
+		return fmt.Errorf("ssd: uncorrectable read: %w", err)
+	}
+	return nil
+}
+
+// scrubECC corrects a staged page in place and regenerates its parity —
+// the GC-time scrub that keeps relocated data from accumulating raw bit
+// errors across generations.
+func (s *SSD) scrubECC(addr int) error {
+	if err := s.decodeECC(addr); err != nil {
+		return err
+	}
+	page, err := s.mem.Window(addr, s.pageBytes)
+	if err != nil {
+		return err
+	}
+	return s.mem.Write(addr+s.pageBytes, ecc.EncodePage(page))
+}
+
+// write expects the host payload to already be staged by the caller; the
+// generator model writes a deterministic pattern derived from the LPN.
+func (s *SSD) write(cmd hic.Command) {
+	s.acquireSlot(func(addr int) {
+		if err := s.stagePattern(addr, cmd.LPN); err != nil {
+			s.releaseSlot(addr)
+			s.complete(cmd, err)
+			return
+		}
+		s.programWithRetry(cmd, addr, 0)
+	})
+}
+
+// maxProgramRetries bounds grown-bad-block handling per host write.
+const maxProgramRetries = 3
+
+// programWithRetry allocates, programs, and — on a media FAIL — retires
+// the grown-bad block and retries elsewhere, as every production FTL
+// must (bad blocks grow over a drive's life; the host never sees them).
+func (s *SSD) programWithRetry(cmd hic.Command, addr, attempt int) {
+	loc, err := s.ftl.AllocateWrite(cmd.LPN)
+	if err != nil {
+		// Out of space: park the command and let GC free blocks —
+		// a real drive back-pressures the host rather than failing.
+		s.releaseSlot(addr)
+		s.stalledWrites = append(s.stalledWrites, cmd)
+		s.kickGC()
+		return
+	}
+	n := s.pageBytes + s.parityBytes
+	s.backend.ProgramPage(loc.Chip, loc.Row, addr, n, func(err error) {
+		if err == nil {
+			s.releaseSlot(addr)
+			s.complete(cmd, nil)
+			s.maybeGC(loc.Chip)
+			return
+		}
+		s.ftl.Invalidate(cmd.LPN)
+		s.ftl.RetireBlock(loc.Chip, loc.Row.Block)
+		if attempt+1 < maxProgramRetries {
+			s.programWithRetry(cmd, addr, attempt+1)
+			return
+		}
+		s.releaseSlot(addr)
+		s.complete(cmd, err)
+	})
+}
+
+// kickGC starts collection on every chip and fails stalled writes if no
+// chip can make progress (true out-of-space).
+func (s *SSD) kickGC() {
+	started := false
+	for chip := 0; chip < s.ftl.Chips(); chip++ {
+		s.maybeGC(chip)
+		if s.gcRunning[chip] {
+			started = true
+		}
+	}
+	if !started && len(s.stalledWrites) > 0 {
+		// Last resort before declaring the drive full: garbage may be
+		// trapped in a partially written GC block (relocated pages the
+		// host has since overwritten). Force-seal those blocks so they
+		// become collection candidates and retry.
+		for chip := 0; chip < s.ftl.Chips(); chip++ {
+			if s.ftl.ForceSealGC(chip) {
+				s.maybeGC(chip)
+				if s.gcRunning[chip] {
+					started = true
+				}
+			}
+		}
+	}
+	if !started && len(s.stalledWrites) > 0 {
+		stalled := s.stalledWrites
+		s.stalledWrites = nil
+		for _, cmd := range stalled {
+			s.complete(cmd, fmt.Errorf("ssd: out of space and no garbage to collect"))
+		}
+	}
+}
+
+// drainStalled retries writes parked on out-of-space after GC reclaimed
+// a block.
+func (s *SSD) drainStalled() {
+	if len(s.stalledWrites) == 0 {
+		return
+	}
+	stalled := s.stalledWrites
+	s.stalledWrites = nil
+	for _, cmd := range stalled {
+		s.write(cmd)
+	}
+}
+
+// stagePattern fills a slot with the deterministic page content for lpn
+// (and its parity when ECC is on).
+func (s *SSD) stagePattern(addr, lpn int) error {
+	w, err := s.mem.Window(addr, s.pageBytes)
+	if err != nil {
+		return err
+	}
+	FillPattern(w, lpn)
+	if s.withECC {
+		parity := ecc.EncodePage(w)
+		return s.mem.Write(addr+s.pageBytes, parity)
+	}
+	return nil
+}
+
+// FillPattern writes the canonical test pattern for a logical page: a
+// repeating LPN-derived sequence, so any read can be verified without
+// storing a model of the whole drive.
+func FillPattern(dst []byte, lpn int) {
+	for i := range dst {
+		dst[i] = byte(lpn>>8) ^ byte(lpn) ^ byte(i)
+	}
+}

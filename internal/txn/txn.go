@@ -1,0 +1,186 @@
+// Package txn defines BABOL's "waveform instruction set": the queueable
+// descriptions of waveform segments that the software layer produces and
+// the programmable hardware later executes (paper §III). Each instruction
+// parameterizes one µFSM:
+//
+//	ChipControl → the C/E Control µFSM (chip-enable bitmap)
+//	CmdAddr     → the Command/Address Writer µFSM
+//	DataWrite   → the Data Writer µFSM + Packetizer (DRAM → LUN)
+//	DataRead    → the Data Reader µFSM + Packetizer (LUN → DRAM)
+//	TimerWait   → the Timer µFSM
+//
+// A Transaction bundles consecutive instructions into the atomic unit the
+// channel scheduler works with: once started, a transaction monopolizes
+// the channel until its last segment finishes.
+package txn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bus"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// Instr is one µFSM instruction.
+type Instr interface {
+	isInstr()
+	String() string
+}
+
+// ChipControl selects the chips subsequent instructions drive.
+type ChipControl struct {
+	Mask bus.ChipMask
+}
+
+// CmdAddr emits a command/address latch burst.
+type CmdAddr struct {
+	Latches []onfi.Latch
+}
+
+// DataWrite moves N bytes from DRAM address Addr into the selected LUNs'
+// page registers.
+type DataWrite struct {
+	Addr int
+	N    int
+}
+
+// DataRead moves N bytes from the selected LUN's register into DRAM at
+// Addr. If Capture is set, the bytes are additionally returned in the
+// transaction's Result (used for status and feature reads).
+type DataRead struct {
+	Addr    int
+	N       int
+	Capture bool
+}
+
+// TimerWait holds the channel idle for at least D.
+type TimerWait struct {
+	D sim.Duration
+}
+
+func (ChipControl) isInstr() {}
+func (CmdAddr) isInstr()     {}
+func (DataWrite) isInstr()   {}
+func (DataRead) isInstr()    {}
+func (TimerWait) isInstr()   {}
+
+func (i ChipControl) String() string { return fmt.Sprintf("chip(%016b)", uint16(i.Mask)) }
+func (i CmdAddr) String() string {
+	parts := make([]string, len(i.Latches))
+	for j, l := range i.Latches {
+		parts[j] = fmt.Sprintf("%v:%02X", l.Kind, l.Value)
+	}
+	return "cmdaddr(" + strings.Join(parts, " ") + ")"
+}
+func (i DataWrite) String() string { return fmt.Sprintf("write(dram=%d n=%d)", i.Addr, i.N) }
+func (i DataRead) String() string  { return fmt.Sprintf("read(dram=%d n=%d)", i.Addr, i.N) }
+func (i TimerWait) String() string { return fmt.Sprintf("wait(%v)", i.D) }
+
+// Result reports a transaction's outcome to the operation that built it.
+type Result struct {
+	// Captured holds the bytes of every DataRead with Capture set,
+	// concatenated.
+	Captured []byte
+	// End is when the transaction's last segment left the channel.
+	End sim.Time
+	// Err is a protocol error surfaced by the LUN or bus, if any.
+	Err error
+}
+
+// Transaction is the atomic scheduling unit.
+type Transaction struct {
+	// ID is assigned by the controller at enqueue time.
+	ID uint64
+	// OpID identifies the operation that built the transaction.
+	OpID uint64
+	// Chip is the primary target (scheduling key); -1 if none.
+	Chip int
+	// Priority is interpreted by priority-based transaction schedulers;
+	// larger is more urgent.
+	Priority int
+	// Final marks an operation's statically known last transaction. The
+	// execution unit uses it to open the chip's admission gate the
+	// instant the transaction completes, letting a pre-staged next
+	// operation's first latch take the channel with no software on the
+	// path.
+	Final bool
+	// Instrs are executed in order.
+	Instrs []Instr
+	// Done is invoked by the execution unit when the transaction
+	// completes (may be nil).
+	Done func(Result)
+}
+
+// Validate rejects structurally broken transactions.
+func (t *Transaction) Validate() error {
+	if len(t.Instrs) == 0 {
+		return fmt.Errorf("txn: empty transaction")
+	}
+	sel := false
+	for _, in := range t.Instrs {
+		switch v := in.(type) {
+		case ChipControl:
+			if v.Mask == 0 {
+				return fmt.Errorf("txn: chip control with empty mask")
+			}
+			sel = true
+		case CmdAddr:
+			if len(v.Latches) == 0 {
+				return fmt.Errorf("txn: empty latch burst")
+			}
+			if !sel {
+				return fmt.Errorf("txn: latch burst before any chip selection")
+			}
+		case DataWrite:
+			if v.N <= 0 {
+				return fmt.Errorf("txn: data write of %d bytes", v.N)
+			}
+			if !sel {
+				return fmt.Errorf("txn: data write before any chip selection")
+			}
+		case DataRead:
+			if v.N <= 0 {
+				return fmt.Errorf("txn: data read of %d bytes", v.N)
+			}
+			if !sel {
+				return fmt.Errorf("txn: data read before any chip selection")
+			}
+		case TimerWait:
+			if v.D < 0 {
+				return fmt.Errorf("txn: negative timer wait")
+			}
+		}
+	}
+	return nil
+}
+
+// EstimateDuration predicts the channel time the transaction will occupy
+// under the given timing and bus configuration. Shortest-first schedulers
+// sort by this.
+func (t *Transaction) EstimateDuration(tm onfi.Timing, cfg onfi.BusConfig) sim.Duration {
+	var d sim.Duration
+	for _, in := range t.Instrs {
+		switch v := in.(type) {
+		case CmdAddr:
+			d += tm.LatchSegment(len(v.Latches))
+		case DataWrite:
+			d += tm.DataSegment(cfg, v.N)
+		case DataRead:
+			d += tm.TWHR + tm.DataSegment(cfg, v.N)
+		case TimerWait:
+			d += v.D
+		}
+	}
+	return d
+}
+
+// String summarizes the transaction for traces.
+func (t *Transaction) String() string {
+	parts := make([]string, len(t.Instrs))
+	for i, in := range t.Instrs {
+		parts[i] = in.String()
+	}
+	return fmt.Sprintf("txn#%d(op%d chip%d: %s)", t.ID, t.OpID, t.Chip, strings.Join(parts, "; "))
+}

@@ -1,0 +1,89 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+func validTxn() *Transaction {
+	return &Transaction{
+		ID: 1, OpID: 2, Chip: 0,
+		Instrs: []Instr{
+			ChipControl{Mask: bus.Mask(0)},
+			CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}},
+			DataRead{Addr: -1, N: 1, Capture: true},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validTxn().Validate(); err != nil {
+		t.Errorf("valid transaction rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		instrs []Instr
+	}{
+		{"empty", nil},
+		{"empty mask", []Instr{ChipControl{}}},
+		{"latch before select", []Instr{CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(0x70)}}}},
+		{"empty burst", []Instr{ChipControl{Mask: 1}, CmdAddr{}}},
+		{"zero write", []Instr{ChipControl{Mask: 1}, DataWrite{N: 0}}},
+		{"write before select", []Instr{DataWrite{N: 4}}},
+		{"zero read", []Instr{ChipControl{Mask: 1}, DataRead{N: 0}}},
+		{"read before select", []Instr{DataRead{N: 4}}},
+		{"negative wait", []Instr{TimerWait{D: -1}}},
+	}
+	for _, c := range cases {
+		tx := &Transaction{Instrs: c.instrs}
+		if err := tx.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestEstimateDuration(t *testing.T) {
+	tm := onfi.DefaultTiming()
+	cfg := onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: 200}
+	tx := &Transaction{Instrs: []Instr{
+		ChipControl{Mask: 1},
+		CmdAddr{Latches: make([]onfi.Latch, 7)},
+		TimerWait{D: 10 * sim.Microsecond},
+		DataRead{N: 100},
+	}}
+	want := tm.LatchSegment(7) + 10*sim.Microsecond + tm.TWHR + tm.DataSegment(cfg, 100)
+	if got := tx.EstimateDuration(tm, cfg); got != want {
+		t.Errorf("EstimateDuration = %v, want %v", got, want)
+	}
+	// Chip control costs nothing.
+	empty := &Transaction{Instrs: []Instr{ChipControl{Mask: 1}}}
+	if got := empty.EstimateDuration(tm, cfg); got != 0 {
+		t.Errorf("chip-control-only duration = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tx := validTxn()
+	s := tx.String()
+	for _, want := range []string{"txn#1", "op2", "chip0", "cmdaddr", "read("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains((TimerWait{D: sim.Microsecond}).String(), "1us") {
+		t.Error("TimerWait.String missing duration")
+	}
+	if !strings.Contains((DataWrite{Addr: 5, N: 9}).String(), "n=9") {
+		t.Error("DataWrite.String missing size")
+	}
+	if !strings.Contains((ChipControl{Mask: 3}).String(), "11") {
+		t.Error("ChipControl.String missing mask")
+	}
+}

@@ -1,0 +1,107 @@
+// Package ufsm implements BABOL's Operation Execution hardware: the five
+// parameterizable µFSMs and the Packetizer DMA unit, assembled into an
+// Executor that plays queued transactions onto a channel.
+//
+// The µFSMs are "software-configurable waveform segment emitters" (paper
+// Fig. 5): each txn.Instr carries the parameters, and the corresponding
+// emit method produces the timed bus segment. Intra-segment timing (tCS,
+// tWP, tWB, DQS preambles, …) is the µFSMs' responsibility and is folded
+// into the bus segment lengths; inter-segment timing (tR, tADL, …) is the
+// operation logic's responsibility via the Timer µFSM or status polling.
+package ufsm
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+// Executor is the hardware execution unit for one channel.
+type Executor struct {
+	ch   *bus.Channel
+	mem  *dram.Buffer
+	stat Stats
+}
+
+// Stats counts executed work.
+type Stats struct {
+	Transactions uint64
+	Instructions uint64
+	DMAInBytes   uint64 // DRAM → LUN
+	DMAOutBytes  uint64 // LUN → DRAM
+}
+
+// NewExecutor wires the execution unit to a channel and the DRAM buffer
+// the Packetizer moves data against.
+func NewExecutor(ch *bus.Channel, mem *dram.Buffer) *Executor {
+	return &Executor{ch: ch, mem: mem}
+}
+
+// Channel returns the attached channel.
+func (e *Executor) Channel() *bus.Channel { return e.ch }
+
+// Stats returns a snapshot of the counters.
+func (e *Executor) Stats() Stats { return e.stat }
+
+// Execute plays every instruction of t onto the channel, back to back,
+// starting at the channel's current schedule horizon. It returns the
+// transaction's Result; Done is NOT invoked — the caller (the controller)
+// owns completion delivery so it can charge software wake-up costs.
+//
+// Execute must only be called when the scheduler has granted the channel
+// (Free() at the current virtual time); the bus appends chained segments
+// without re-arbitration.
+func (e *Executor) Execute(t *txn.Transaction) txn.Result {
+	if err := t.Validate(); err != nil {
+		return txn.Result{Err: err}
+	}
+	var sel bus.ChipMask
+	var captured []byte
+	var end sim.Time
+	for _, in := range t.Instrs {
+		e.stat.Instructions++
+		var err error
+		switch v := in.(type) {
+		case txn.ChipControl:
+			// C/E Control µFSM: pure modifier, no bus time.
+			sel = v.Mask
+		case txn.CmdAddr:
+			// Command/Address Writer µFSM.
+			end, err = e.ch.Latch(sel, v.Latches, t.OpID)
+		case txn.DataWrite:
+			// Packetizer fetches from DRAM; Data Writer drives DQ/DQS.
+			var window []byte
+			window, err = e.mem.Window(v.Addr, v.N)
+			if err == nil {
+				end, err = e.ch.DataIn(sel, window, t.OpID)
+				e.stat.DMAInBytes += uint64(v.N)
+			}
+		case txn.DataRead:
+			// Data Reader µFSM strobes DQS; Packetizer stores to DRAM.
+			var data []byte
+			data, end, err = e.ch.DataOut(sel, v.N, t.OpID)
+			if err == nil {
+				if v.Addr >= 0 {
+					err = e.mem.Write(v.Addr, data)
+				}
+				e.stat.DMAOutBytes += uint64(v.N)
+				if v.Capture {
+					captured = append(captured, data...)
+				}
+			}
+		case txn.TimerWait:
+			// Timer µFSM.
+			end, err = e.ch.Pause(v.D, t.OpID)
+		default:
+			err = fmt.Errorf("ufsm: unknown instruction %T", in)
+		}
+		if err != nil {
+			return txn.Result{Captured: captured, End: end, Err: err}
+		}
+	}
+	e.stat.Transactions++
+	return txn.Result{Captured: captured, End: end}
+}

@@ -1,0 +1,254 @@
+package wave
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindCmdAddr: "CMD/ADDR", KindDataOut: "DATA-OUT", KindDataIn: "DATA-IN",
+		KindWait: "WAIT", KindBusy: "BUSY",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Segment{}) // must not panic
+	if r.Len() != 0 || r.Segments() != nil {
+		t.Error("nil recorder should be empty")
+	}
+	r.Reset() // must not panic
+}
+
+func TestDisabledRecorder(t *testing.T) {
+	var r Recorder // zero value: disabled
+	r.Record(Segment{Kind: KindWait})
+	if r.Len() != 0 {
+		t.Error("zero-value recorder captured a segment")
+	}
+}
+
+func TestRecorderCapture(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Segment{Start: 0, End: 10, Kind: KindCmdAddr, Chip: 0})
+	r.Record(Segment{Start: 10, End: 20, Kind: KindBusy, Chip: 0})
+	r.Record(Segment{Start: 20, End: 30, Kind: KindDataOut, Chip: 0, Bytes: 4})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	cs := r.ChannelSegments()
+	if len(cs) != 2 {
+		t.Fatalf("ChannelSegments = %d, want 2 (BUSY excluded)", len(cs))
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Segment{Start: 0, End: 10, Kind: KindCmdAddr})
+	r.Record(Segment{Start: 20, End: 30, Kind: KindDataOut})
+	if got := r.Busy(0, 30); got != 20 {
+		t.Errorf("Busy = %v, want 20", got)
+	}
+	// Clipped window.
+	if got := r.Busy(5, 25); got != 10 {
+		t.Errorf("clipped Busy = %v, want 10", got)
+	}
+	if u := r.Utilization(0, 30); u < 0.66 || u > 0.67 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if u := r.Utilization(10, 10); u != 0 {
+		t.Errorf("degenerate window utilization = %v", u)
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Segment{Start: 0, End: sim.Time(290 * sim.Nanosecond), Kind: KindCmdAddr, Chip: 0, Label: "READ.1 ADDR×5 READ.2"})
+	r.Record(Segment{Start: sim.Time(290 * sim.Nanosecond), End: sim.Time(100290 * sim.Nanosecond), Kind: KindBusy, Chip: 0, Label: "tR"})
+	out := r.Render()
+	if !strings.Contains(out, "READ.1 ADDR×5 READ.2") || !strings.Contains(out, "BUSY") {
+		t.Errorf("Render output missing content:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("Render lines = %d, want 2", lines)
+	}
+}
+
+func TestSummarizeLatches(t *testing.T) {
+	g := onfi.Geometry{Planes: 1, BlocksPerLUN: 16, PagesPerBlk: 16, PageBytes: 512}
+	latches := []onfi.Latch{onfi.CmdLatch(onfi.CmdRead1)}
+	latches = append(latches, g.AddrLatches(onfi.Addr{})...)
+	latches = append(latches, onfi.CmdLatch(onfi.CmdRead2))
+	if got := SummarizeLatches(latches); got != "READ.1 ADDR×5 READ.2" {
+		t.Errorf("SummarizeLatches = %q", got)
+	}
+	if got := SummarizeLatches([]onfi.Latch{onfi.AddrLatch(1)}); got != "ADDR" {
+		t.Errorf("single addr = %q", got)
+	}
+	if got := SummarizeLatches(nil); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func checkerForTest() *Checker {
+	return NewChecker(onfi.DefaultTiming(), onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: 200})
+}
+
+// legalCmdAddr builds a CMD/ADDR segment of exactly legal length starting
+// at t.
+func legalCmdAddr(c *Checker, t sim.Time, chip int, latches []onfi.Latch) Segment {
+	d := c.Timing.TCS + sim.Duration(len(latches))*c.Timing.LatchCycle() + c.Timing.TCH
+	if endsInConfirm(latches) {
+		d += c.Timing.TWB
+	}
+	return Segment{Start: t, End: t.Add(d), Kind: KindCmdAddr, Chip: chip, Latches: latches}
+}
+
+func TestCheckerCleanTrace(t *testing.T) {
+	c := checkerForTest()
+	g := onfi.Geometry{Planes: 1, BlocksPerLUN: 16, PagesPerBlk: 16, PageBytes: 512}
+	var latches []onfi.Latch
+	latches = append(latches, onfi.CmdLatch(onfi.CmdRead1))
+	latches = append(latches, g.AddrLatches(onfi.Addr{})...)
+	latches = append(latches, onfi.CmdLatch(onfi.CmdRead2))
+
+	s1 := legalCmdAddr(c, 0, 0, latches)
+	busyEnd := s1.End.Add(53 * sim.Microsecond)
+	s2 := Segment{Start: s1.End, End: busyEnd, Kind: KindBusy, Chip: 0, Label: "tR"}
+	dataStart := busyEnd.Add(c.Timing.TWHR)
+	s3 := Segment{
+		Start: dataStart,
+		End:   dataStart.Add(c.Timing.DataSegment(c.Bus, 512)),
+		Kind:  KindDataOut, Chip: 0, Bytes: 512,
+	}
+	if vs := c.Check([]Segment{s1, s2, s3}); len(vs) != 0 {
+		t.Errorf("clean trace has violations: %v", vs)
+	}
+}
+
+func TestCheckerOverlap(t *testing.T) {
+	c := checkerForTest()
+	s1 := Segment{Start: 0, End: 100, Kind: KindWait}
+	s2 := Segment{Start: 50, End: 150, Kind: KindWait}
+	vs := c.Check([]Segment{s1, s2})
+	if len(vs) != 1 || !strings.Contains(vs[0].Rule, "exclusivity") {
+		t.Errorf("overlap not caught: %v", vs)
+	}
+}
+
+func TestCheckerShortLatchBurst(t *testing.T) {
+	c := checkerForTest()
+	s := Segment{Start: 0, End: 1, Kind: KindCmdAddr, Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}}
+	vs := c.Check([]Segment{s})
+	if len(vs) != 1 || !strings.Contains(vs[0].Rule, "latch burst") {
+		t.Errorf("short latch burst not caught: %v", vs)
+	}
+}
+
+func TestCheckerShortDataBurst(t *testing.T) {
+	c := checkerForTest()
+	s := Segment{Start: 0, End: 1, Kind: KindDataOut, Bytes: 512}
+	vs := c.Check([]Segment{s})
+	if len(vs) != 1 || !strings.Contains(vs[0].Rule, "data burst") {
+		t.Errorf("short data burst not caught: %v", vs)
+	}
+}
+
+func TestCheckerTWHRGap(t *testing.T) {
+	c := checkerForTest()
+	cmd := legalCmdAddr(c, 0, 0, []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)})
+	// Data starts immediately — violates tWHR.
+	data := Segment{
+		Start: cmd.End,
+		End:   cmd.End.Add(c.Timing.DataSegment(c.Bus, 1)),
+		Kind:  KindDataOut, Chip: 0, Bytes: 1,
+	}
+	vs := c.Check([]Segment{cmd, data})
+	if len(vs) != 1 || !strings.Contains(vs[0].Rule, "tWHR") {
+		t.Errorf("tWHR violation not caught: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Index: 3, Rule: "tWHR", Want: 80 * sim.Nanosecond, Got: 10 * sim.Nanosecond}
+	s := v.String()
+	if !strings.Contains(s, "segment 3") || !strings.Contains(s, "tWHR") {
+		t.Errorf("Violation.String = %q", s)
+	}
+}
+
+// Property: any sequence of back-to-back, legally sized WAIT segments
+// passes the checker.
+func TestCheckerBackToBackWaitsProperty(t *testing.T) {
+	c := checkerForTest()
+	f := func(durs []uint16) bool {
+		var segs []Segment
+		var at sim.Time
+		for _, d := range durs {
+			dd := sim.Duration(d) + 1
+			segs = append(segs, Segment{Start: at, End: at.Add(dd), Kind: KindWait})
+			at = at.Add(dd)
+		}
+		return len(c.Check(segs)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Segment{Start: 0, End: sim.Time(100 * sim.Nanosecond), Kind: KindCmdAddr, Chip: 0})
+	r.Record(Segment{Start: sim.Time(100 * sim.Nanosecond), End: sim.Time(50100 * sim.Nanosecond), Kind: KindBusy, Chip: 0})
+	r.Record(Segment{Start: sim.Time(200 * sim.Nanosecond), End: sim.Time(300 * sim.Nanosecond), Kind: KindDataIn, Chip: 1})
+	r.Record(Segment{Start: sim.Time(400 * sim.Nanosecond), End: sim.Time(500 * sim.Nanosecond), Kind: KindDataOut, Chip: 1})
+	r.Record(Segment{Start: sim.Time(600 * sim.Nanosecond), End: sim.Time(700 * sim.Nanosecond), Kind: KindWait, Chip: -1})
+
+	var buf strings.Builder
+	if err := WriteVCD(&buf, r.Segments(), 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"chip0_cmdaddr", "chip1_dataout", "chip1_datain",
+		"timer_wait", "lun_busy",
+		"$enddefinitions $end",
+		"#0\n", "#100\n", "#200\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Edges must balance: every signal raised is lowered.
+	ones := strings.Count(out, "\n1")
+	zeros := strings.Count(out, "\n0")
+	if ones == 0 || zeros < ones {
+		t.Errorf("unbalanced edges: %d rising, %d falling", ones, zeros)
+	}
+	// Chip count auto-detection path.
+	var buf2 strings.Builder
+	if err := WriteVCD(&buf2, r.Segments(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "chip1_cmdaddr") {
+		t.Error("auto chip detection failed")
+	}
+}
