@@ -8,9 +8,13 @@
 //	babolbench fig10    Read throughput sweep (Figure 10)
 //	babolbench fig11    Polling cadence analysis (Figure 11)
 //	babolbench fig12    End-to-end SSD bandwidth (Figure 12)
+//	babolbench split    software/hardware time split from the event stream
 //	babolbench all      everything above, in paper order
 //
-// Flags scale the runs; the defaults reproduce the full sweeps.
+// Flags scale the runs; the defaults reproduce the full sweeps. With
+// -trace, every rig's controller event stream is appended to one JSONL
+// file (one JSON object per line; see internal/obs) for offline
+// analysis or replay through obs.ReadJSONL + obs.Metrics.
 package main
 
 import (
@@ -19,14 +23,16 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
-	csv := flag.Bool("csv", false, "emit fig10/fig12 as CSV instead of tables")
+	csv := flag.Bool("csv", false, "emit fig10/fig12/split as CSV instead of tables")
 	ops := flag.Int("ops", 240, "host operations per measured configuration")
 	blocks := flag.Int("blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
+	trace := flag.String("trace", "", "append controller events to this JSONL file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] table1|table2|table3|fig9|fig10|fig11|fig12|all\n")
+		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-trace out.jsonl] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,6 +41,18 @@ func main() {
 		os.Exit(2)
 	}
 	opt := exp.Options{Ops: *ops, Blocks: *blocks, WaysList: []int{2, 4, 8}}
+
+	var sink *obs.JSONLWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "babolbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewJSONLWriter(f)
+		opt.Tracer = sink
+	}
 
 	var run func(name string) error
 	run = func(name string) error {
@@ -83,8 +101,18 @@ func main() {
 			} else {
 				fmt.Println(exp.RenderFig12(pts))
 			}
+		case "split":
+			rows, err := exp.TimeSplit(opt)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Print(exp.TimeSplitCSV(rows))
+			} else {
+				fmt.Println(exp.RenderTimeSplit(rows))
+			}
 		case "all":
-			for _, n := range []string{"table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12"} {
+			for _, n := range []string{"table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12", "split"} {
 				if err := run(n); err != nil {
 					return err
 				}
@@ -95,7 +123,13 @@ func main() {
 		return nil
 	}
 
-	if err := run(flag.Arg(0)); err != nil {
+	err := run(flag.Arg(0))
+	if sink != nil {
+		if ferr := sink.Flush(); err == nil && ferr != nil {
+			err = fmt.Errorf("writing trace: %w", ferr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "babolbench:", err)
 		os.Exit(1)
 	}

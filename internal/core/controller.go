@@ -26,6 +26,7 @@ import (
 	"repro/internal/coro"
 	"repro/internal/cpumodel"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/txn"
@@ -45,6 +46,11 @@ type Config struct {
 	// TaskQueue defaults to FIFO; TxnQueue defaults to issue-first.
 	TaskQueue sched.TaskQueue
 	TxnQueue  sched.TxnQueue
+	// Tracer receives the controller's event stream (admissions, CPU
+	// charges, transaction life cycle, gate openings). nil means tracing
+	// is off; every emission site is nil-guarded so the disabled path
+	// costs one branch.
+	Tracer obs.Tracer
 }
 
 // OpRequest is a request to run one operation, as the FTL would issue it.
@@ -66,12 +72,18 @@ type OpRequest struct {
 
 // Stats counts controller activity.
 type Stats struct {
-	OpsSubmitted   uint64
+	OpsSubmitted uint64
+	// OpsCompleted counts every operation that terminated, successfully
+	// or not — it includes OpsFailed. Use OpsSucceeded for the
+	// error-free count.
 	OpsCompleted   uint64
 	OpsFailed      uint64
 	TxnsExecuted   uint64
 	AdmissionWaits uint64
 }
+
+// OpsSucceeded reports operations that terminated without error.
+func (s Stats) OpsSucceeded() uint64 { return s.OpsCompleted - s.OpsFailed }
 
 // Controller is one BABOL channel controller instance.
 type Controller struct {
@@ -104,7 +116,9 @@ type Controller struct {
 
 	dispatching bool // a software dispatch chain is in flight
 	hwArmed     bool // the hardware unit is waiting for/running a txn
+	closed      bool // Close ran; pending kernel callbacks are inert
 
+	tracer  obs.Tracer
 	stats   Stats
 	latency LatencyStats
 }
@@ -120,18 +134,21 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.TxnQueue == nil {
 		cfg.TxnQueue = sched.NewTxnIssueFirst()
 	}
+	exec := ufsm.NewExecutor(cfg.Channel, cfg.DRAM)
+	exec.SetTracer(cfg.Tracer)
 	return &Controller{
 		k:          cfg.Kernel,
 		ch:         cfg.Channel,
 		mem:        cfg.DRAM,
 		cpu:        cfg.CPU,
-		exec:       ufsm.NewExecutor(cfg.Channel, cfg.DRAM),
+		exec:       exec,
 		taskQ:      cfg.TaskQueue,
 		txnQ:       cfg.TxnQueue,
 		scratch:    newScratchRing(cfg.DRAM),
 		chipActive: make(map[int]*opState),
 		chipStaged: make(map[int]*opState),
 		live:       make(map[uint64]*opState),
+		tracer:     cfg.Tracer,
 	}, nil
 }
 
@@ -152,48 +169,115 @@ func (c *Controller) Pending() int { return len(c.live) + len(c.admitQ) }
 
 // Start submits an operation request. Admission, scheduling, and
 // execution all happen in virtual time; Done fires when the operation
-// finishes. Start returns the operation ID.
+// finishes. Start returns the operation ID. Starting on a closed
+// controller is a documented no-op returning 0.
 func (c *Controller) Start(req OpRequest) uint64 {
+	if c.closed {
+		return 0
+	}
 	c.nextOpID++
 	id := c.nextOpID
 	st := &opState{id: id, req: req, ctrl: c, startedAt: c.k.Now()}
 	c.stats.OpsSubmitted++
 	// Admission is a firmware action: charge it.
-	c.cpu.Exec(c.cpu.Profile().AdmitCycles, func() { c.admit(st) })
+	c.charge(c.cpu.Profile().AdmitCycles, "admit", func() { c.admit(st) })
 	return id
+}
+
+// charge is the single funnel for firmware work: it emits a CPU-charge
+// event and then serializes fn on the CPU model. Because every
+// cpu.Exec in the controller goes through here, the sum of the emitted
+// durations reproduces cpumodel.Stats.BusyTime exactly.
+func (c *Controller) charge(cycles int64, label string, fn func()) {
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindCPUCharge,
+			Cycles: cycles, Dur: c.cpu.CycleTime(cycles), Label: label,
+		})
+	}
+	c.cpu.Exec(cycles, fn)
+}
+
+// gangReserved returns the set of chips a parked gang operation is
+// waiting on. Freed slots on those chips are reserved: later
+// single-chip operations must not leapfrog into them, or the gang
+// operation — which needs all its chips free at once — starves.
+func (c *Controller) gangReserved() map[int]bool {
+	var blocked map[int]bool
+	for _, w := range c.admitQ {
+		if len(w.req.ExtraChips) == 0 {
+			continue
+		}
+		if blocked == nil {
+			blocked = make(map[int]bool)
+		}
+		for _, chip := range w.chips() {
+			blocked[chip] = true
+		}
+	}
+	return blocked
 }
 
 // admit places st in a chip slot if one is open, else parks it.
 // Single-chip operations may enter the "staged" slot behind a running
 // operation; gang operations (ExtraChips) need every chip's active slot
-// free and are never staged.
+// free and are never staged. Chips a longer-parked gang operation waits
+// on are off limits (see gangReserved).
 func (c *Controller) admit(st *opState) {
+	if c.closed {
+		return
+	}
+	blocked := c.gangReserved()
 	chips := st.chips()
 	if len(chips) == 1 {
 		chip := chips[0]
-		switch {
-		case c.chipActive[chip] == nil:
-			c.chipActive[chip] = st
-			c.activate(st)
-		case c.chipStaged[chip] == nil:
-			c.chipStaged[chip] = st
-			st.staged = true
-			c.activate(st)
-		default:
-			c.stats.AdmissionWaits++
-			c.admitQ = append(c.admitQ, st)
+		if !blocked[chip] {
+			switch {
+			case c.chipActive[chip] == nil:
+				c.chipActive[chip] = st
+				c.admitted(st, "active")
+				return
+			case c.chipStaged[chip] == nil:
+				c.chipStaged[chip] = st
+				st.staged = true
+				c.admitted(st, "staged")
+				return
+			}
 		}
+		c.park(st)
 		return
 	}
 	for _, chip := range chips {
-		if c.chipActive[chip] != nil || c.chipStaged[chip] != nil {
-			c.stats.AdmissionWaits++
-			c.admitQ = append(c.admitQ, st)
+		if blocked[chip] || c.chipActive[chip] != nil || c.chipStaged[chip] != nil {
+			c.park(st)
 			return
 		}
 	}
 	for _, chip := range chips {
 		c.chipActive[chip] = st
+	}
+	c.admitted(st, "gang")
+}
+
+// park defers st to the next finishOp re-admission pass.
+func (c *Controller) park(st *opState) {
+	c.stats.AdmissionWaits++
+	c.admitQ = append(c.admitQ, st)
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindAdmissionWait,
+			OpID: st.id, Chip: st.req.Chip, Label: st.req.Label,
+		})
+	}
+}
+
+// admitted records the slot taken and activates the operation.
+func (c *Controller) admitted(st *opState, slot string) {
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindOpAdmitted,
+			OpID: st.id, Chip: st.req.Chip, Label: slot,
+		})
 	}
 	c.activate(st)
 }
@@ -219,19 +303,27 @@ func (c *Controller) makeRunnable(st *opState, extraCycles int64) {
 // pump drives the software side: one schedule pass + context switch at a
 // time, serialized on the CPU model.
 func (c *Controller) pump() {
-	if c.dispatching || c.taskQ.Len() == 0 {
+	if c.closed || c.dispatching || c.taskQ.Len() == 0 {
 		return
 	}
 	c.dispatching = true
 	p := c.cpu.Profile()
-	c.cpu.Exec(p.ScheduleCycles, func() {
+	c.charge(p.ScheduleCycles, "schedule", func() {
+		if c.closed {
+			c.dispatching = false
+			return
+		}
 		t := c.taskQ.Pop()
 		if t == nil {
 			c.dispatching = false
 			return
 		}
 		st := t.(*opState)
-		c.cpu.Exec(p.SwitchCycles+st.wakeExtra, func() {
+		c.charge(p.SwitchCycles+st.wakeExtra, "switch", func() {
+			if c.closed {
+				c.dispatching = false
+				return
+			}
 			c.resumeOp(st)
 			c.dispatching = false
 			c.pump()
@@ -242,6 +334,12 @@ func (c *Controller) pump() {
 // resumeOp hands control to the operation coroutine until its next yield
 // and then processes the yield reason.
 func (c *Controller) resumeOp(st *opState) {
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindOpResumed,
+			OpID: st.id, Chip: st.req.Chip,
+		})
+	}
 	finished := st.co.Resume()
 	if finished {
 		c.finishOp(st, st.co.Err())
@@ -260,10 +358,21 @@ func (c *Controller) resumeOp(st *opState) {
 		// these "polling resubmissions"; they dominate the coroutine
 		// environment's overhead).
 		cycles := c.cpu.Profile().SubmitCycles
+		label := "submit"
 		if resubmit {
 			cycles += c.cpu.Profile().PollCycles
+			label = "poll-resubmit"
+			if c.tracer != nil {
+				c.tracer.Event(obs.Event{
+					Time: c.k.Now(), Kind: obs.KindPollResubmit,
+					OpID: st.id, Chip: st.req.Chip,
+				})
+			}
 		}
-		c.cpu.Exec(cycles, func() {
+		c.charge(cycles, label, func() {
+			if c.closed {
+				return
+			}
 			c.nextTxnID++
 			tx.ID = c.nextTxnID
 			if st.staged && !st.submittedAny {
@@ -273,13 +382,18 @@ func (c *Controller) resumeOp(st *opState) {
 				return
 			}
 			st.submittedAny = true
-			c.txnQ.Push(tx)
+			c.pushTxn(tx)
 			c.armHW()
 		})
 	case pendSleep:
 		d := st.ctx.sleepFor
 		st.ctx.sleepFor = 0
-		c.k.After(d, func() { c.makeRunnable(st, 0) })
+		c.k.After(d, func() {
+			if c.closed {
+				return
+			}
+			c.makeRunnable(st, 0)
+		})
 	default:
 		// A yield with no request is a cooperative reschedule.
 		c.makeRunnable(st, 0)
@@ -308,24 +422,50 @@ func (c *Controller) finishOp(st *opState, err error) {
 				// transaction: release at software completion.
 				next.heldTxn = nil
 				next.submittedAny = true
-				c.txnQ.Push(held)
+				c.pushTxn(held)
 				c.armHW()
 			}
 		}
 	}
+	lat := c.k.Now().Sub(st.startedAt)
 	c.stats.OpsCompleted++
-	c.latency.record(c.k.Now().Sub(st.startedAt))
+	c.latency.record(lat)
 	if err != nil {
 		c.stats.OpsFailed++
+	}
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindOpFinished,
+			OpID: st.id, Chip: st.req.Chip, Dur: lat,
+			Err: err != nil, Label: st.req.Label,
+		})
 	}
 	if st.req.Done != nil {
 		st.req.Done(err)
 	}
-	// Re-run admission for parked operations (in arrival order).
+	// Re-run admission for parked operations (in arrival order). Each
+	// pass is a firmware action and pays the same AdmitCycles as Start;
+	// the CPU model's FIFO keeps the passes in arrival order, so a
+	// re-parked gang operation re-reserves its chips before any later
+	// operation's pass runs.
 	parked := c.admitQ
 	c.admitQ = nil
+	p := c.cpu.Profile()
 	for _, w := range parked {
-		c.admit(w)
+		w := w
+		c.charge(p.AdmitCycles, "admit", func() { c.admit(w) })
+	}
+}
+
+// pushTxn moves a transaction into the hardware-visible queue,
+// recording the post-push depth.
+func (c *Controller) pushTxn(tx *txn.Transaction) {
+	c.txnQ.Push(tx)
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindTxnEnqueued,
+			OpID: tx.OpID, TxnID: tx.ID, Chip: tx.Chip, Depth: c.txnQ.Len(),
+		})
 	}
 }
 
@@ -334,7 +474,7 @@ func (c *Controller) finishOp(st *opState, err error) {
 // No software cost is charged on this path — the pop is the hardware
 // "Operation Execution" module reacting to channel vacancy.
 func (c *Controller) armHW() {
-	if c.hwArmed || c.txnQ.Len() == 0 {
+	if c.closed || c.hwArmed || c.txnQ.Len() == 0 {
 		return
 	}
 	c.hwArmed = true
@@ -346,18 +486,45 @@ func (c *Controller) armHW() {
 }
 
 func (c *Controller) execHead() {
+	if c.closed {
+		c.hwArmed = false
+		return
+	}
 	tx := c.txnQ.Pop()
 	if tx == nil {
 		c.hwArmed = false
 		return
 	}
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindTxnPopped,
+			OpID: tx.OpID, TxnID: tx.ID, Chip: tx.Chip, Depth: c.txnQ.Len(),
+		})
+	}
+	start := c.k.Now()
+	busyBefore := c.ch.Stats().BusyTime
 	res := c.exec.Execute(tx)
 	c.stats.TxnsExecuted++
+	if c.tracer != nil {
+		// The channel's busy-time delta is the exact occupancy this
+		// transaction added (robust to error-truncated executions), so
+		// summing these events reproduces bus.Stats.BusyTime.
+		occ := c.ch.Stats().BusyTime - busyBefore
+		c.tracer.Event(obs.Event{
+			Time: start.Add(occ), Kind: obs.KindTxnExecuted,
+			OpID: tx.OpID, TxnID: tx.ID, Chip: tx.Chip,
+			Dur: occ, Start: start, End: start.Add(occ),
+			Err: res.Err != nil,
+		})
+	}
 	end := res.End
 	if end < c.k.Now() {
 		end = c.k.Now()
 	}
 	c.k.At(end, func() {
+		if c.closed {
+			return
+		}
 		c.hwArmed = false
 		if tx.Final {
 			// The descriptor's "last" bit opens the chip gate in
@@ -379,25 +546,46 @@ func (c *Controller) openGate(chip int) {
 	if next == nil || next.heldTxn == nil {
 		return
 	}
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{
+			Time: c.k.Now(), Kind: obs.KindGateOpened,
+			OpID: next.id, Chip: chip,
+		})
+	}
 	held := next.heldTxn
 	next.heldTxn = nil
 	next.submittedAny = true
-	c.txnQ.Push(held)
+	c.pushTxn(held)
 }
 
 // deliver is called (via the transaction's Done) when an operation's
 // submitted transaction completes: the operation becomes runnable again.
 func (c *Controller) deliver(st *opState, res txn.Result) {
+	if c.closed {
+		return
+	}
 	st.ctx.result = res
 	c.makeRunnable(st, 0)
 }
 
 // Close aborts all in-flight operations, releasing their coroutine
-// goroutines. The controller must not be used afterwards.
+// goroutines, and neutralizes every kernel callback still scheduled
+// against them (transaction completions, sleep timers, pending CPU
+// work): a subsequent kernel drain is a no-op instead of resuming
+// aborted coroutines or mutating freed state. Close is idempotent; the
+// controller must not be used afterwards (Start becomes a no-op).
 func (c *Controller) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
 	for _, st := range c.live {
 		st.co.Abort()
 	}
 	c.live = make(map[uint64]*opState)
 	c.admitQ = nil
+	c.chipActive = make(map[int]*opState)
+	c.chipStaged = make(map[int]*opState)
+	c.dispatching = false
+	c.hwArmed = false
 }

@@ -69,8 +69,13 @@ type Ctx struct {
 	result     txn.Result
 
 	// poll-resubmission tracking: a capture transaction submitted right
-	// after another capture transaction is a polling loop iteration.
+	// after another capture transaction *with the same leading command*
+	// is a polling loop iteration. The command signature distinguishes
+	// back-to-back capture phases of different kinds (READ ID followed
+	// by READ STATUS is not a resubmission), and an intervening
+	// non-capture submit or Sleep breaks the loop.
 	lastWasCapture bool
+	lastCaptureCmd int
 	pollResubmit   bool
 }
 
@@ -164,8 +169,10 @@ func (x *Ctx) submit(final bool) txn.Result {
 			break
 		}
 	}
-	x.pollResubmit = capture && x.lastWasCapture
+	cmd := leadingCmd(x.instrs)
+	x.pollResubmit = capture && x.lastWasCapture && cmd >= 0 && cmd == x.lastCaptureCmd
 	x.lastWasCapture = capture
+	x.lastCaptureCmd = cmd
 	tx := &txn.Transaction{
 		OpID:     x.st.id,
 		Chip:     x.st.req.Chip,
@@ -184,13 +191,33 @@ func (x *Ctx) submit(final bool) txn.Result {
 	return x.result
 }
 
+// leadingCmd returns the first command latch value in a transaction's
+// instructions, or -1 if it has none — the signature used to tell one
+// polling loop's status reads apart from an unrelated capture phase.
+func leadingCmd(instrs []txn.Instr) int {
+	for _, in := range instrs {
+		ca, ok := in.(txn.CmdAddr)
+		if !ok {
+			continue
+		}
+		for _, l := range ca.Latches {
+			if l.Kind == onfi.LatchCmd {
+				return int(l.Value)
+			}
+		}
+	}
+	return -1
+}
+
 // Sleep suspends the operation for d of virtual time without occupying
 // the channel. Operations use it for coarse waits where polling would be
-// wasteful.
+// wasteful. Sleeping breaks a polling loop: the next capture submit is
+// a fresh poll, not a resubmission.
 func (x *Ctx) Sleep(d sim.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	x.lastWasCapture = false
 	x.pending = pendSleep
 	x.sleepFor = d
 	x.y.Yield()

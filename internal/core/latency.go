@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -36,7 +37,9 @@ func (l *LatencyStats) Mean() sim.Duration {
 	return sum / sim.Duration(len(l.samples))
 }
 
-// Percentile reports the p-th percentile latency (0 < p ≤ 100).
+// Percentile reports the p-th percentile latency (0 < p ≤ 100) by the
+// nearest-rank method: the smallest sample with at least p % of the
+// distribution at or below it, rank ⌈p/100·n⌉.
 func (l *LatencyStats) Percentile(p float64) sim.Duration {
 	if len(l.samples) == 0 {
 		return 0
@@ -45,7 +48,7 @@ func (l *LatencyStats) Percentile(p float64) sim.Duration {
 		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
 		l.sorted = true
 	}
-	idx := int(p/100*float64(len(l.samples))) - 1
+	idx := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

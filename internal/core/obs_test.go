@@ -1,0 +1,335 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/dram"
+	"repro/internal/nand"
+	"repro/internal/obs"
+	"repro/internal/onfi"
+	"repro/internal/ops"
+	"repro/internal/sim"
+)
+
+// newObsRig is newRig plus an attached metrics registry.
+func newObsRig(t *testing.T, chips int, profile cpumodel.Profile, freqMHz int) (*rig, *obs.Metrics, *cpumodel.CPU) {
+	t.Helper()
+	k := sim.NewKernel()
+	ch, err := bus.New(k, onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: 200}, onfi.DefaultTiming(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < chips; i++ {
+		l, err := nand.NewLUN(smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.Attach(l)
+	}
+	mem := dram.New(1 << 20)
+	cpu, err := cpumodel.New(k, freqMHz, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	ctrl, err := core.New(core.Config{Kernel: k, Channel: ch, DRAM: mem, CPU: cpu, Tracer: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	return &rig{k: k, ch: ch, mem: mem, ctrl: ctrl}, m, cpu
+}
+
+// TestMetricsCrossCheck is the acceptance criterion for the event
+// stream: the software/hardware time split derived purely from events
+// must reproduce the CPU model's and the channel's own counters
+// exactly, and the event counters must agree with controller Stats.
+func TestMetricsCrossCheck(t *testing.T) {
+	r, m, cpu := newObsRig(t, 2, cpumodel.RTOS(), 1000)
+	for i := 0; i < 2; i++ {
+		if err := r.ch.Chip(i).SeedPage(onfi.RowAddr{}, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		r.ctrl.Start(core.OpRequest{
+			Func: ops.ReadPage(onfi.Addr{}, i*1024, 64),
+			Chip: i % 2,
+			Done: func(err error) {
+				if err != nil {
+					t.Error(err)
+				}
+			},
+		})
+	}
+	r.k.Run()
+
+	s := m.Snapshot()
+	if s.SoftwareTime != cpu.Stats().BusyTime {
+		t.Errorf("SoftwareTime %v != cpu BusyTime %v", s.SoftwareTime, cpu.Stats().BusyTime)
+	}
+	if s.SoftwareCycles != cpu.Stats().CyclesCharged {
+		t.Errorf("SoftwareCycles %d != cpu CyclesCharged %d", s.SoftwareCycles, cpu.Stats().CyclesCharged)
+	}
+	if s.HardwareTime != r.ch.Stats().BusyTime {
+		t.Errorf("HardwareTime %v != channel BusyTime %v", s.HardwareTime, r.ch.Stats().BusyTime)
+	}
+	st := r.ctrl.Stats()
+	if s.OpsFinished != st.OpsCompleted {
+		t.Errorf("OpsFinished %d != OpsCompleted %d", s.OpsFinished, st.OpsCompleted)
+	}
+	if s.TxnsExecuted != st.TxnsExecuted {
+		t.Errorf("TxnsExecuted %d != stats %d", s.TxnsExecuted, st.TxnsExecuted)
+	}
+	if s.TxnsEnqueued != s.TxnsExecuted || s.TxnsPopped != s.TxnsExecuted {
+		t.Errorf("txn pipeline leaked: enq=%d pop=%d exec=%d", s.TxnsEnqueued, s.TxnsPopped, s.TxnsExecuted)
+	}
+	if s.OpsAdmitted != 6 || s.OpsFinished != 6 {
+		t.Errorf("ops: admitted=%d finished=%d", s.OpsAdmitted, s.OpsFinished)
+	}
+	if s.SoftwareShare() <= 0 || s.SoftwareShare() >= 1 {
+		t.Errorf("SoftwareShare = %v", s.SoftwareShare())
+	}
+	// Per-chip roll-up covers both chips and sums to the totals.
+	var chipTxns uint64
+	var chipBusy sim.Duration
+	for _, cm := range s.Chips {
+		chipTxns += cm.TxnsExecuted
+		chipBusy += cm.BusyTime
+	}
+	if chipTxns != s.TxnsExecuted || chipBusy != s.HardwareTime {
+		t.Errorf("chip roll-up: txns %d/%d busy %v/%v", chipTxns, s.TxnsExecuted, chipBusy, s.HardwareTime)
+	}
+	// Operation latency events must agree with the latency registry.
+	if s.OpLatency.Count != uint64(r.ctrl.Latency().Count()) {
+		t.Errorf("OpLatency.Count %d != latency samples %d", s.OpLatency.Count, r.ctrl.Latency().Count())
+	}
+}
+
+// TestReadmissionChargesAdmitCycles pins the fix for the finishOp
+// re-admission path: every admission pass — initial or re-run after a
+// completion — must pay AdmitCycles, so the "admit" charge count in the
+// event stream exceeds the op count whenever ops parked, and software
+// time still reconciles with the CPU model exactly.
+func TestReadmissionChargesAdmitCycles(t *testing.T) {
+	r, m, cpu := newObsRig(t, 1, cpumodel.RTOS(), 1000)
+	if err := r.ch.Chip(0).SeedPage(onfi.RowAddr{}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// 4 ops on one chip: active + staged fill, ops 3 and 4 park and are
+	// re-admitted by later finishOp passes.
+	for i := 0; i < 4; i++ {
+		r.ctrl.Start(core.OpRequest{
+			Func: ops.ReadPage(onfi.Addr{}, i*1024, 64), Chip: 0,
+			Done: func(err error) {
+				if err != nil {
+					t.Error(err)
+				}
+			},
+		})
+	}
+	r.k.Run()
+
+	s := m.Snapshot()
+	if s.AdmissionWaits == 0 {
+		t.Fatal("scenario did not exercise parking")
+	}
+	admits := s.Charges["admit"]
+	wantAdmits := 4 + s.AdmissionWaits // one per Start + one per re-admission pass
+	if admits.Count != wantAdmits {
+		t.Errorf("admit charges = %d, want %d (4 starts + %d re-admissions)",
+			admits.Count, wantAdmits, s.AdmissionWaits)
+	}
+	profile := cpu.Profile()
+	if admits.Cycles != int64(wantAdmits)*profile.AdmitCycles {
+		t.Errorf("admit cycles = %d, want %d", admits.Cycles, int64(wantAdmits)*profile.AdmitCycles)
+	}
+	// The under-accounting bug showed up as SoftwareTime < cpu BusyTime;
+	// with the fix the reconciliation is exact.
+	if s.SoftwareTime != cpu.Stats().BusyTime {
+		t.Errorf("SoftwareTime %v != cpu BusyTime %v", s.SoftwareTime, cpu.Stats().BusyTime)
+	}
+}
+
+// TestGangOpNotStarved is the regression test for gang-op starvation:
+// a parked multi-chip operation must not be leapfrogged indefinitely by
+// later single-chip traffic on its chips — freed slots are reserved for
+// it until it runs.
+func TestGangOpNotStarved(t *testing.T) {
+	r := newRig(t, 2, cpumodel.RTOS(), 1000)
+	for i := 0; i < 2; i++ {
+		if err := r.ch.Chip(i).SeedPage(onfi.RowAddr{}, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	start := func(name string, fn core.OpFunc, chip int, extra []int) {
+		r.ctrl.Start(core.OpRequest{
+			Func: fn, Chip: chip, ExtraChips: extra, Label: name,
+			Done: func(err error) {
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+				order = append(order, name)
+			},
+		})
+	}
+	// Both chips busy, then a gang op, then a stream of single-chip ops
+	// that — without reservation — would slip into every slot the gang
+	// op needs, starving it until the queue drains.
+	start("A", ops.ReadPage(onfi.Addr{}, 0, 64), 0, nil)
+	start("B", ops.ReadPage(onfi.Addr{}, 1024, 64), 1, nil)
+	start("gang", ops.GangRead([]int{0, 1}, onfi.Addr{}, 2048, 64), 0, []int{1})
+	start("C", ops.ReadPage(onfi.Addr{}, 4096, 64), 0, nil)
+	start("D", ops.ReadPage(onfi.Addr{}, 5120, 64), 1, nil)
+	start("E", ops.ReadPage(onfi.Addr{}, 6144, 64), 0, nil)
+	start("F", ops.ReadPage(onfi.Addr{}, 7168, 64), 1, nil)
+	r.k.Run()
+
+	if len(order) != 7 {
+		t.Fatalf("completions: %v", order)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	// The gang op arrived before C–F and must finish before all of them.
+	for _, late := range []string{"C", "D", "E", "F"} {
+		if pos["gang"] > pos[late] {
+			t.Fatalf("gang op starved: order %v", order)
+		}
+	}
+}
+
+// TestCloseNeutralizesPendingCallbacks pins the Close fix: kernel
+// callbacks still scheduled at Close time (transaction completions,
+// CPU work, timers) must become no-ops instead of resuming aborted
+// coroutines or mutating freed controller state.
+func TestCloseNeutralizesPendingCallbacks(t *testing.T) {
+	r := newRig(t, 2, cpumodel.RTOS(), 1000)
+	for i := 0; i < 2; i++ {
+		if err := r.ch.Chip(i).SeedPage(onfi.RowAddr{}, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		r.ctrl.Start(core.OpRequest{
+			Func: ops.ReadPage(onfi.Addr{}, i*1024, 64), Chip: i % 2,
+		})
+	}
+	// Advance far enough that transactions are in flight with completion
+	// callbacks scheduled, then close mid-operation.
+	r.k.RunFor(20 * sim.Microsecond)
+	r.ctrl.Close()
+	statsAtClose := r.ctrl.Stats()
+
+	// Draining the kernel afterwards must neither panic nor touch stats.
+	r.k.Run()
+	if got := r.ctrl.Stats(); got != statsAtClose {
+		t.Errorf("stats mutated after Close: %+v -> %+v", statsAtClose, got)
+	}
+	if r.ctrl.Pending() != 0 {
+		t.Error("pending ops after Close")
+	}
+	// Close is idempotent and Start after Close is a documented no-op.
+	r.ctrl.Close()
+	if id := r.ctrl.Start(core.OpRequest{Func: ops.Reset(), Chip: 0}); id != 0 {
+		t.Errorf("Start after Close returned id %d", id)
+	}
+	r.k.Run()
+	if got := r.ctrl.Stats(); got != statsAtClose {
+		t.Errorf("stats mutated by Start after Close: %+v", got)
+	}
+}
+
+// TestPollResubmitClassification pins the ctx.go fix: only a capture
+// submit repeating the *same* command counts as a polling resubmission.
+// Distinct back-to-back capture phases (READ ID then READ STATUS) and
+// polls separated by a Sleep are fresh submissions.
+func TestPollResubmitClassification(t *testing.T) {
+	r, m, _ := newObsRig(t, 1, cpumodel.RTOS(), 1000)
+	capture := func(ctx *core.Ctx, cmd onfi.Cmd) {
+		ctx.Cmd(cmd)
+		ctx.ReadCapture(1)
+		ctx.Submit()
+	}
+	r.ctrl.Start(core.OpRequest{
+		Func: func(ctx *core.Ctx) error {
+			capture(ctx, onfi.CmdReadStatus) // first poll: not a resubmit
+			capture(ctx, onfi.CmdReadStatus) // same command again: resubmit
+			capture(ctx, onfi.CmdReadID)     // distinct capture phase: NOT a resubmit
+			capture(ctx, onfi.CmdReadStatus) // command changed back: NOT a resubmit
+			ctx.Sleep(sim.Microsecond)
+			capture(ctx, onfi.CmdReadStatus) // sleep broke the loop: NOT a resubmit
+			capture(ctx, onfi.CmdReadStatus) // resubmit again
+			return nil
+		},
+		Chip: 0,
+		Done: func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	r.k.Run()
+
+	s := m.Snapshot()
+	if s.PollResubmits != 2 {
+		t.Errorf("PollResubmits = %d, want 2 (old classifier counted every capture-after-capture: 4)",
+			s.PollResubmits)
+	}
+	if got := s.Charges["poll-resubmit"].Count; got != 2 {
+		t.Errorf("poll-resubmit charges = %d, want 2", got)
+	}
+}
+
+// TestStatsSemantics documents that OpsCompleted counts every
+// terminated operation including failures, with OpsSucceeded as the
+// derived error-free count.
+func TestStatsSemantics(t *testing.T) {
+	r := newRig(t, 1, cpumodel.RTOS(), 1000)
+	addr := onfi.Addr{Row: onfi.RowAddr{Block: 0, Page: 0}}
+	// First program succeeds; overwriting the same page fails.
+	r.ctrl.Start(core.OpRequest{
+		Func: ops.ProgramPage(addr, 0, 16), Chip: 0,
+		Done: func(error) {
+			r.ctrl.Start(core.OpRequest{Func: ops.ProgramPage(addr, 0, 16), Chip: 0})
+		},
+	})
+	r.k.Run()
+	st := r.ctrl.Stats()
+	if st.OpsCompleted != 2 {
+		t.Errorf("OpsCompleted = %d, want 2 (failed ops count as completed)", st.OpsCompleted)
+	}
+	if st.OpsFailed != 1 {
+		t.Errorf("OpsFailed = %d, want 1", st.OpsFailed)
+	}
+	if st.OpsSucceeded() != 1 {
+		t.Errorf("OpsSucceeded() = %d, want 1", st.OpsSucceeded())
+	}
+}
+
+// TestFailedOpEmitsErrEvent verifies the op-finished event carries the
+// failure flag so per-chip failure counters work.
+func TestFailedOpEmitsErrEvent(t *testing.T) {
+	r, m, _ := newObsRig(t, 1, cpumodel.RTOS(), 1000)
+	addr := onfi.Addr{Row: onfi.RowAddr{Block: 0, Page: 0}}
+	r.ctrl.Start(core.OpRequest{
+		Func: ops.ProgramPage(addr, 0, 16), Chip: 0,
+		Done: func(error) {
+			r.ctrl.Start(core.OpRequest{Func: ops.ProgramPage(addr, 0, 16), Chip: 0})
+		},
+	})
+	r.k.Run()
+	s := m.Snapshot()
+	if s.OpsFinished != 2 || s.OpsFailed != 1 {
+		t.Errorf("events: finished=%d failed=%d", s.OpsFinished, s.OpsFailed)
+	}
+	chip := s.Chips[obs.ChipKey{Chip: 0}]
+	if chip.OpsFinished != 2 || chip.OpsFailed != 1 {
+		t.Errorf("chip events: %+v", chip)
+	}
+}

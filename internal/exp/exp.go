@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hic"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -25,6 +26,9 @@ type Options struct {
 	// Blocks shrinks the per-LUN block count (throughput experiments do
 	// not need full-capacity arrays).
 	Blocks int
+	// Tracer receives the event stream of every rig an experiment
+	// builds (e.g. a JSONL sink for babolbench -trace). nil disables.
+	Tracer obs.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -44,7 +44,7 @@ func Fig10(opt Options) ([]Fig10Point, error) {
 				run := func(kind ssd.ControllerKind, mhz int) error {
 					mbps, err := readThroughput(ssd.BuildConfig{
 						Params: params, Ways: luns, RateMT: rate,
-						Controller: kind, CPUMHz: mhz,
+						Controller: kind, CPUMHz: mhz, Tracer: opt.Tracer,
 					}, hic.Sequential, opt.Ops, 2*luns)
 					if err != nil {
 						return fmt.Errorf("fig10 %s %dMT %v %dMHz %dLUN: %w",

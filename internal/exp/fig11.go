@@ -42,7 +42,7 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 		params := shrink(nand.Hynix(), opt.Blocks)
 		rig, err := ssd.Build(ssd.BuildConfig{
 			Params: params, Ways: 1, RateMT: 200,
-			Controller: kind, CPUMHz: 1000, Record: true,
+			Controller: kind, CPUMHz: 1000, Record: true, Tracer: opt.Tracer,
 		})
 		if err != nil {
 			return nil, err

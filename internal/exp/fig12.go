@@ -35,7 +35,7 @@ func Fig12(opt Options) ([]Fig12Point, error) {
 			for _, kind := range []ssd.ControllerKind{ssd.CtrlHW, ssd.CtrlBabolRTOS, ssd.CtrlBabolCoro} {
 				mbps, err := readThroughput(ssd.BuildConfig{
 					Params: shrink(nand.Hynix(), opt.Blocks), Ways: w, RateMT: 200,
-					Controller: kind, CPUMHz: 1000,
+					Controller: kind, CPUMHz: 1000, Tracer: opt.Tracer,
 				}, pattern, opt.Ops, 4*w)
 				if err != nil {
 					return nil, fmt.Errorf("fig12 %v %v %dway: %w", pattern, kind, w, err)

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hic"
+	"repro/internal/nand"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// SplitRow is one configuration's software/hardware time decomposition —
+// the paper's Table II view, derived entirely from the obs event stream
+// rather than ad-hoc counters.
+type SplitRow struct {
+	Controller ssd.ControllerKind
+	CPUMHz     int
+	Reads      int
+	// Software is the firmware time charged to the CPU model; Hardware
+	// is the channel's bus occupancy. Both are event-stream sums that
+	// reproduce the cpumodel/bus counters exactly.
+	Software sim.Duration
+	Hardware sim.Duration
+	// Elapsed is the virtual span of the run.
+	Elapsed sim.Duration
+	// PollResubmits counts re-issued status transactions (§VI-C), the
+	// dominant software overhead of the coroutine environment.
+	PollResubmits uint64
+	// MeanQueueDepth is the average hardware-visible transaction queue
+	// depth, sampled at every enqueue and pop.
+	MeanQueueDepth float64
+	// Charges breaks Software down per firmware action.
+	Charges map[string]obs.ChargeStats
+}
+
+// SoftwareShare is Software / (Software + Hardware).
+func (r SplitRow) SoftwareShare() float64 {
+	total := r.Software + r.Hardware
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.Software) / float64(total)
+}
+
+// splitCPUs are the firmware clocks swept: the 150 MHz soft core where
+// software time dominates, and the 1 GHz ARM case where it vanishes.
+var splitCPUs = []int{150, 1000}
+
+// TimeSplit runs a single-LUN sequential read stream against both BABOL
+// software environments at each clock in splitCPUs, with the metrics
+// roll-up enabled, and reports where the time went.
+func TimeSplit(opt Options) ([]SplitRow, error) {
+	opt = opt.withDefaults()
+	reads := opt.Ops / 4
+	if reads < 8 {
+		reads = 8
+	}
+	var out []SplitRow
+	for _, kind := range []ssd.ControllerKind{ssd.CtrlBabolRTOS, ssd.CtrlBabolCoro} {
+		for _, mhz := range splitCPUs {
+			rig, err := ssd.Build(ssd.BuildConfig{
+				Params: shrink(nand.Hynix(), opt.Blocks), Ways: 1, RateMT: 200,
+				Controller: kind, CPUMHz: mhz,
+				Observe: true, Tracer: opt.Tracer,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := rig.SSD.Preload(reads); err != nil {
+				rig.Close()
+				return nil, err
+			}
+			res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+				Pattern: hic.Sequential, Kind: hic.KindRead,
+				NumOps: reads, QueueDepth: 2, LogicalPages: reads,
+			})
+			if err != nil {
+				rig.Close()
+				return nil, err
+			}
+			rig.Kernel.Run()
+			if res.Completed != reads || res.Failed != 0 {
+				rig.Close()
+				return nil, fmt.Errorf("timesplit %v@%d: %d/%d completed, %d failed",
+					kind, mhz, res.Completed, reads, res.Failed)
+			}
+			s := rig.Metrics.Snapshot()
+			out = append(out, SplitRow{
+				Controller: kind, CPUMHz: mhz, Reads: reads,
+				Software: s.SoftwareTime, Hardware: s.HardwareTime,
+				Elapsed:        s.Span(),
+				PollResubmits:  s.PollResubmits,
+				MeanQueueDepth: s.QueueDepth.Mean(),
+				Charges:        s.Charges,
+			})
+			rig.Close()
+		}
+	}
+	return out, nil
+}
+
+// TimeSplitCSV renders the decomposition as machine-readable CSV.
+func TimeSplitCSV(rows []SplitRow) string {
+	out := "controller,cpu_mhz,reads,software_us,hardware_us,software_share,poll_resubmits,mean_qdepth\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s,%d,%d,%.2f,%.2f,%.3f,%d,%.2f\n",
+			r.Controller, r.CPUMHz, r.Reads,
+			r.Software.Micros(), r.Hardware.Micros(), r.SoftwareShare(),
+			r.PollResubmits, r.MeanQueueDepth)
+	}
+	return out
+}
+
+// RenderTimeSplit formats the software/hardware decomposition with the
+// per-action charge breakdown.
+func RenderTimeSplit(rows []SplitRow) string {
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%-6s @%-5d sw=%-10s hw=%-10s sw%%=%-6.1f polls=%-6d qdepth=%.2f",
+			r.Controller, r.CPUMHz, us(r.Software), us(r.Hardware),
+			100*r.SoftwareShare(), r.PollResubmits, r.MeanQueueDepth))
+	}
+	out := table("Time split: software (CPU) vs hardware (channel) time from the event stream", lines)
+	for _, r := range rows {
+		labels := make([]string, 0, len(r.Charges))
+		for l := range r.Charges {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		out += fmt.Sprintf("\n%s @%d MHz charge breakdown:\n", r.Controller, r.CPUMHz)
+		for _, l := range labels {
+			c := r.Charges[l]
+			out += fmt.Sprintf("  %-14s n=%-7d cycles=%-10d time=%s\n", l, c.Count, c.Cycles, us(c.Time))
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ package hic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -121,14 +122,14 @@ func (r *Result) IOPS() float64 {
 }
 
 // LatencyPercentile returns the p-th percentile completion latency
-// (0 < p ≤ 100).
+// (0 < p ≤ 100), nearest-rank: rank ⌈p/100·n⌉.
 func (r *Result) LatencyPercentile(p float64) sim.Duration {
 	if len(r.latencies) == 0 {
 		return 0
 	}
 	sorted := append([]sim.Duration(nil), r.latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p/100*float64(len(sorted))) - 1
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

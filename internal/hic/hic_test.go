@@ -156,6 +156,21 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+func TestLatencyPercentileNearestRank(t *testing.T) {
+	var r Result
+	for i := 10; i >= 1; i-- {
+		r.latencies = append(r.latencies, sim.Duration(i))
+	}
+	// Nearest rank ⌈p/100·n⌉: the p99 of 10 samples is the maximum, not
+	// the p90 the old truncating rank computed.
+	if got := r.LatencyPercentile(99); got != 10 {
+		t.Errorf("p99 of 10 samples = %d, want 10", got)
+	}
+	if got := r.LatencyPercentile(50); got != 5 {
+		t.Errorf("p50 of 10 samples = %d, want 5", got)
+	}
+}
+
 func TestEmptyResultMetrics(t *testing.T) {
 	var r Result
 	if r.BandwidthMBps(16384) != 0 || r.IOPS() != 0 || r.MeanLatency() != 0 || r.LatencyPercentile(99) != 0 {

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// jsonlEvent is the wire form of an Event: the kind travels as its
+// string name so the stream is self-describing and stable across
+// reorderings of the Kind enum, and zero fields are omitted to keep
+// traces compact.
+type jsonlEvent struct {
+	Time    sim.Time     `json:"t"`
+	Kind    string       `json:"kind"`
+	Channel int          `json:"ch,omitempty"`
+	OpID    uint64       `json:"op,omitempty"`
+	TxnID   uint64       `json:"txn,omitempty"`
+	Chip    int          `json:"chip,omitempty"`
+	Dur     sim.Duration `json:"dur,omitempty"`
+	Start   sim.Time     `json:"start,omitempty"`
+	End     sim.Time     `json:"end,omitempty"`
+	Depth   int          `json:"depth,omitempty"`
+	Cycles  int64        `json:"cycles,omitempty"`
+	Bytes   int          `json:"bytes,omitempty"`
+	Err     bool         `json:"err,omitempty"`
+	Label   string       `json:"label,omitempty"`
+}
+
+// JSONLWriter is a Tracer persisting the event stream as one JSON
+// object per line — the `babolbench -trace out.jsonl` sink. Writes are
+// buffered; call Flush (or check Err) when the run ends. Encoding
+// errors are sticky: the first one is retained and later events are
+// dropped, so the hot path never has to handle an error return.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL event sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Tracer.
+func (j *JSONLWriter) Event(e Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonlEvent{
+		Time: e.Time, Kind: e.Kind.String(), Channel: e.Channel,
+		OpID: e.OpID, TxnID: e.TxnID, Chip: e.Chip,
+		Dur: e.Dur, Start: e.Start, End: e.End, Depth: e.Depth,
+		Cycles: e.Cycles, Bytes: e.Bytes, Err: e.Err, Label: e.Label,
+	})
+}
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (j *JSONLWriter) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Err reports the first write or encoding error, if any.
+func (j *JSONLWriter) Err() error { return j.err }
+
+// ReadJSONL decodes a JSONL trace back into events — the inverse of
+// JSONLWriter, used for offline replay into a Metrics registry and in
+// round-trip tests. Unknown kinds are an error so schema drift is loud.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var je jsonlEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: decode event %d: %w", len(out), err)
+		}
+		k, ok := KindFromString(je.Kind)
+		if !ok {
+			return out, fmt.Errorf("obs: event %d: unknown kind %q", len(out), je.Kind)
+		}
+		out = append(out, Event{
+			Time: je.Time, Kind: k, Channel: je.Channel,
+			OpID: je.OpID, TxnID: je.TxnID, Chip: je.Chip,
+			Dur: je.Dur, Start: je.Start, End: je.End, Depth: je.Depth,
+			Cycles: je.Cycles, Bytes: je.Bytes, Err: je.Err, Label: je.Label,
+		})
+	}
+}

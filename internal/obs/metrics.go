@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Histogram is a log2-bucketed distribution of non-negative int64
+// observations (durations in picoseconds, queue depths). Bucket i
+// counts values v with 2^(i-1) ≤ v < 2^i; bucket 0 counts zeros.
+type Histogram struct {
+	Buckets [64]uint64
+	Count   uint64
+	Sum     int64
+	Max     int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bucketOf(v)]++
+}
+
+func bucketOf(v int64) int {
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	return b
+}
+
+// Mean reports the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// ChargeStats aggregates the firmware cost of one charge site (admit,
+// schedule, switch, submit, poll-resubmit) — the per-action breakdown
+// behind the paper's software-environment comparison.
+type ChargeStats struct {
+	Count  uint64
+	Cycles int64
+	Time   sim.Duration
+}
+
+// ChipKey addresses per-chip metrics across channels.
+type ChipKey struct {
+	Channel int
+	Chip    int
+}
+
+// ChipMetrics aggregates one chip's activity.
+type ChipMetrics struct {
+	OpsAdmitted    uint64
+	OpsFinished    uint64
+	OpsFailed      uint64
+	AdmissionWaits uint64
+	PollResubmits  uint64
+	TxnsExecuted   uint64
+	// BusyTime is the channel occupancy attributed to this chip's
+	// transactions.
+	BusyTime sim.Duration
+}
+
+// ChannelMetrics aggregates one channel's activity.
+type ChannelMetrics struct {
+	TxnsEnqueued uint64
+	TxnsExecuted uint64
+	GateOpens    uint64
+	// BusyTime is the channel's total bus occupancy.
+	BusyTime sim.Duration
+	// QueueDepth is the transaction queue depth sampled at every
+	// enqueue and pop.
+	QueueDepth Histogram
+}
+
+// Snapshot is a point-in-time copy of a Metrics registry, safe to
+// retain and compare. Maps are deep-copied.
+type Snapshot struct {
+	Events     uint64
+	FirstEvent sim.Time
+	LastEvent  sim.Time
+
+	// SoftwareTime is the firmware (CPU-model) time charged across all
+	// observed controllers; SoftwareCycles is the same in cycles. It is
+	// the sum of every KindCPUCharge duration, which by construction
+	// equals cpumodel.Stats.BusyTime.
+	SoftwareTime   sim.Duration
+	SoftwareCycles int64
+	// HardwareTime is the channel occupancy across all observed
+	// channels: the sum of every KindTxnExecuted duration, which by
+	// construction equals bus.Stats.BusyTime.
+	HardwareTime sim.Duration
+
+	OpsAdmitted    uint64
+	OpsResumed     uint64
+	OpsFinished    uint64
+	OpsFailed      uint64
+	AdmissionWaits uint64
+	GateOpens      uint64
+	PollResubmits  uint64
+	TxnsEnqueued   uint64
+	TxnsPopped     uint64
+	TxnsExecuted   uint64
+
+	// Charges breaks SoftwareTime down by charge site.
+	Charges map[string]ChargeStats
+	// TxnBusTime is the distribution of per-transaction channel
+	// occupancy (picoseconds).
+	TxnBusTime Histogram
+	// QueueDepth is the global transaction queue depth distribution,
+	// sampled at every enqueue and pop.
+	QueueDepth Histogram
+	// OpLatency is the distribution of operation Start→Done latency
+	// (picoseconds).
+	OpLatency Histogram
+
+	Channels map[int]ChannelMetrics
+	Chips    map[ChipKey]ChipMetrics
+}
+
+// Span is the virtual time covered by the observed events.
+func (s Snapshot) Span() sim.Duration { return s.LastEvent.Sub(s.FirstEvent) }
+
+// SoftwareShare is SoftwareTime / (SoftwareTime + HardwareTime) — the
+// Table II-style decomposition of where a configuration's time goes.
+// It is 0 when nothing was observed.
+func (s Snapshot) SoftwareShare() float64 {
+	total := s.SoftwareTime + s.HardwareTime
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.SoftwareTime) / float64(total)
+}
+
+// ChannelIdle reports how long a channel sat idle within the observed
+// span.
+func (s Snapshot) ChannelIdle(channel int) sim.Duration {
+	idle := s.Span() - s.Channels[channel].BusyTime
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}
+
+// String summarizes the snapshot.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d span=%v sw=%v hw=%v sw%%=%.1f ops=%d/%d-failed txns=%d polls=%d waits=%d",
+		s.Events, s.Span(), s.SoftwareTime, s.HardwareTime, 100*s.SoftwareShare(),
+		s.OpsFinished, s.OpsFailed, s.TxnsExecuted, s.PollResubmits, s.AdmissionWaits)
+	if len(s.Charges) > 0 {
+		labels := make([]string, 0, len(s.Charges))
+		for l := range s.Charges {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			c := s.Charges[l]
+			fmt.Fprintf(&b, "\n  %-14s n=%-7d cycles=%-10d time=%v", l, c.Count, c.Cycles, c.Time)
+		}
+	}
+	return b.String()
+}
+
+// Metrics aggregates the event stream into counters and histograms. It
+// implements Tracer, so it plugs directly into core.Config.Tracer (or
+// an ssd.BuildConfig), and it can also replay a recorded JSONL stream
+// offline. Like the rest of the simulation it is single-goroutine:
+// feed and snapshot it from the kernel's goroutine.
+type Metrics struct {
+	events     uint64
+	firstEvent sim.Time
+	lastEvent  sim.Time
+
+	softwareTime   sim.Duration
+	softwareCycles int64
+	hardwareTime   sim.Duration
+
+	opsAdmitted    uint64
+	opsResumed     uint64
+	opsFinished    uint64
+	opsFailed      uint64
+	admissionWaits uint64
+	gateOpens      uint64
+	pollResubmits  uint64
+	txnsEnqueued   uint64
+	txnsPopped     uint64
+	txnsExecuted   uint64
+
+	charges    map[string]ChargeStats
+	txnBusTime Histogram
+	queueDepth Histogram
+	opLatency  Histogram
+
+	channels map[int]*ChannelMetrics
+	chips    map[ChipKey]*ChipMetrics
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		charges:  make(map[string]ChargeStats),
+		channels: make(map[int]*ChannelMetrics),
+		chips:    make(map[ChipKey]*ChipMetrics),
+	}
+}
+
+// Event implements Tracer.
+func (m *Metrics) Event(e Event) {
+	if m.events == 0 || e.Time < m.firstEvent {
+		m.firstEvent = e.Time
+	}
+	if e.Time > m.lastEvent {
+		m.lastEvent = e.Time
+	}
+	m.events++
+
+	switch e.Kind {
+	case KindOpAdmitted:
+		m.opsAdmitted++
+		m.chip(e).OpsAdmitted++
+	case KindAdmissionWait:
+		m.admissionWaits++
+		m.chip(e).AdmissionWaits++
+	case KindOpResumed:
+		m.opsResumed++
+	case KindOpFinished:
+		m.opsFinished++
+		cp := m.chip(e)
+		cp.OpsFinished++
+		if e.Err {
+			m.opsFailed++
+			cp.OpsFailed++
+		}
+		m.opLatency.Observe(int64(e.Dur))
+	case KindTxnEnqueued:
+		m.txnsEnqueued++
+		m.queueDepth.Observe(int64(e.Depth))
+		ch := m.channel(e)
+		ch.TxnsEnqueued++
+		ch.QueueDepth.Observe(int64(e.Depth))
+	case KindTxnPopped:
+		m.txnsPopped++
+		m.queueDepth.Observe(int64(e.Depth))
+		m.channel(e).QueueDepth.Observe(int64(e.Depth))
+	case KindTxnExecuted:
+		m.txnsExecuted++
+		m.hardwareTime += e.Dur
+		m.txnBusTime.Observe(int64(e.Dur))
+		ch := m.channel(e)
+		ch.TxnsExecuted++
+		ch.BusyTime += e.Dur
+		cp := m.chip(e)
+		cp.TxnsExecuted++
+		cp.BusyTime += e.Dur
+	case KindGateOpened:
+		m.gateOpens++
+		m.channel(e).GateOpens++
+	case KindPollResubmit:
+		m.pollResubmits++
+		m.chip(e).PollResubmits++
+	case KindCPUCharge:
+		m.softwareTime += e.Dur
+		m.softwareCycles += e.Cycles
+		c := m.charges[e.Label]
+		c.Count++
+		c.Cycles += e.Cycles
+		c.Time += e.Dur
+		m.charges[e.Label] = c
+	case KindHWInstr:
+		// Instruction-level detail stays in the raw stream; the
+		// transaction events already carry the aggregate occupancy.
+	}
+}
+
+func (m *Metrics) chip(e Event) *ChipMetrics {
+	k := ChipKey{Channel: e.Channel, Chip: e.Chip}
+	c := m.chips[k]
+	if c == nil {
+		c = &ChipMetrics{}
+		m.chips[k] = c
+	}
+	return c
+}
+
+func (m *Metrics) channel(e Event) *ChannelMetrics {
+	c := m.channels[e.Channel]
+	if c == nil {
+		c = &ChannelMetrics{}
+		m.channels[e.Channel] = c
+	}
+	return c
+}
+
+// Snapshot returns a deep copy of the aggregated state for
+// programmatic reads.
+func (m *Metrics) Snapshot() Snapshot {
+	out := Snapshot{
+		Events:         m.events,
+		FirstEvent:     m.firstEvent,
+		LastEvent:      m.lastEvent,
+		SoftwareTime:   m.softwareTime,
+		SoftwareCycles: m.softwareCycles,
+		HardwareTime:   m.hardwareTime,
+		OpsAdmitted:    m.opsAdmitted,
+		OpsResumed:     m.opsResumed,
+		OpsFinished:    m.opsFinished,
+		OpsFailed:      m.opsFailed,
+		AdmissionWaits: m.admissionWaits,
+		GateOpens:      m.gateOpens,
+		PollResubmits:  m.pollResubmits,
+		TxnsEnqueued:   m.txnsEnqueued,
+		TxnsPopped:     m.txnsPopped,
+		TxnsExecuted:   m.txnsExecuted,
+		TxnBusTime:     m.txnBusTime,
+		QueueDepth:     m.queueDepth,
+		OpLatency:      m.opLatency,
+		Charges:        make(map[string]ChargeStats, len(m.charges)),
+		Channels:       make(map[int]ChannelMetrics, len(m.channels)),
+		Chips:          make(map[ChipKey]ChipMetrics, len(m.chips)),
+	}
+	for k, v := range m.charges {
+		out.Charges[k] = v
+	}
+	for k, v := range m.channels {
+		out.Channels[k] = *v
+	}
+	for k, v := range m.chips {
+		out.Chips[k] = *v
+	}
+	return out
+}
+
+// Replay feeds a recorded event slice through the registry.
+func (m *Metrics) Replay(events []Event) {
+	for _, e := range events {
+		m.Event(e)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/hwctrl"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/onfi"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -58,6 +59,13 @@ type BuildConfig struct {
 	Record       bool // capture the channel waveform
 	// TxnQueue overrides BABOL's transaction scheduler (default RR).
 	TxnQueue sched.TxnQueue
+	// Tracer receives the controllers' event streams; multi-channel rigs
+	// tag each channel's events with its index. nil disables tracing.
+	// The hardware baseline controller emits no events.
+	Tracer obs.Tracer
+	// Observe additionally aggregates the event stream into Rig.Metrics
+	// (it composes with Tracer: both sinks see every event).
+	Observe bool
 }
 
 // Rig is a fully wired SSD plus handles to its parts. The singular
@@ -78,6 +86,10 @@ type Rig struct {
 	// HW is non-nil for the hardware baseline.
 	HW  *hwctrl.Controller
 	HWs []*hwctrl.Controller
+
+	// Metrics is the cross-channel roll-up of the controllers' event
+	// streams; non-nil iff BuildConfig.Observe was set.
+	Metrics *obs.Metrics
 }
 
 // Close releases controller resources (coroutine goroutines).
@@ -123,6 +135,16 @@ func Build(cfg BuildConfig) (*Rig, error) {
 	}
 	rig := &Rig{Kernel: k, DRAM: mem, FTL: f}
 
+	tracer := cfg.Tracer
+	if cfg.Observe {
+		rig.Metrics = obs.NewMetrics()
+		if tracer != nil {
+			tracer = obs.Multi{rig.Metrics, tracer}
+		} else {
+			tracer = rig.Metrics
+		}
+	}
+
 	var backends []Backend
 	for c := 0; c < cfg.Channels; c++ {
 		var rec *wave.Recorder
@@ -158,6 +180,7 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			}
 			ctrl, err := core.New(core.Config{
 				Kernel: k, Channel: ch, DRAM: mem, CPU: cpu, TxnQueue: cfg.TxnQueue,
+				Tracer: obs.OnChannel(tracer, c),
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,102 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/hic"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestObserveRollsUpChannels verifies the multi-channel metrics
+// roll-up: one registry aggregates every controller's stream with
+// events tagged per channel, and the software/hardware split
+// reconciles with the per-controller CPU and bus counters.
+func TestObserveRollsUpChannels(t *testing.T) {
+	cfg := smallBuild(CtrlBabolRTOS)
+	cfg.Channels = 2
+	cfg.Observe = true
+	rig := mustBuild(t, cfg)
+	if rig.Metrics == nil {
+		t.Fatal("Observe did not attach Rig.Metrics")
+	}
+	if err := rig.SSD.Preload(16); err != nil {
+		t.Fatal(err)
+	}
+	res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+		Pattern: hic.Sequential, Kind: hic.KindRead,
+		NumOps: 32, QueueDepth: 4, LogicalPages: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Kernel.Run()
+	if res.Completed != 32 || res.Failed != 0 {
+		t.Fatalf("workload: %d completed, %d failed", res.Completed, res.Failed)
+	}
+
+	s := rig.Metrics.Snapshot()
+	if len(s.Channels) != 2 {
+		t.Fatalf("channel roll-up has %d channels, want 2", len(s.Channels))
+	}
+	var swWant sim.Duration
+	for _, ctrl := range rig.Babols {
+		swWant += ctrl.CPU().Stats().BusyTime
+	}
+	if s.SoftwareTime != swWant {
+		t.Errorf("SoftwareTime %v != summed cpu BusyTime %v", s.SoftwareTime, swWant)
+	}
+	var hwWant sim.Duration
+	for i, ch := range rig.Channels {
+		hwWant += ch.Stats().BusyTime
+		if got := s.Channels[i].BusyTime; got != ch.Stats().BusyTime {
+			t.Errorf("channel %d BusyTime %v != bus %v", i, got, ch.Stats().BusyTime)
+		}
+	}
+	if s.HardwareTime != hwWant {
+		t.Errorf("HardwareTime %v != summed bus BusyTime %v", s.HardwareTime, hwWant)
+	}
+	var txnWant uint64
+	for _, ctrl := range rig.Babols {
+		txnWant += ctrl.Stats().TxnsExecuted
+	}
+	if s.TxnsExecuted != txnWant {
+		t.Errorf("TxnsExecuted %d != summed stats %d", s.TxnsExecuted, txnWant)
+	}
+	// Every chip key must carry a valid channel tag.
+	for k := range s.Chips {
+		if k.Channel < 0 || k.Channel >= 2 {
+			t.Errorf("chip key with untagged channel: %+v", k)
+		}
+	}
+}
+
+// TestObserveComposesWithTracer checks that an external tracer and the
+// built-in roll-up both see the stream.
+func TestObserveComposesWithTracer(t *testing.T) {
+	var n int
+	cfg := smallBuild(CtrlBabolRTOS)
+	cfg.Observe = true
+	cfg.Tracer = obs.Func(func(obs.Event) { n++ })
+	rig := mustBuild(t, cfg)
+	if err := rig.SSD.Preload(4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+		Pattern: hic.Sequential, Kind: hic.KindRead,
+		NumOps: 4, QueueDepth: 1, LogicalPages: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Kernel.Run()
+	if res.Completed != 4 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if n == 0 {
+		t.Error("external tracer saw no events")
+	}
+	if got := rig.Metrics.Snapshot().Events; got != uint64(n) {
+		t.Errorf("roll-up saw %d events, external tracer %d", got, n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/txn"
 )
@@ -24,6 +25,7 @@ type Executor struct {
 	ch   *bus.Channel
 	mem  *dram.Buffer
 	stat Stats
+	tr   obs.Tracer
 }
 
 // Stats counts executed work.
@@ -42,6 +44,10 @@ func NewExecutor(ch *bus.Channel, mem *dram.Buffer) *Executor {
 
 // Channel returns the attached channel.
 func (e *Executor) Channel() *bus.Channel { return e.ch }
+
+// SetTracer attaches an event tracer emitting one KindHWInstr event per
+// timed µFSM instruction. nil (the default) disables emission.
+func (e *Executor) SetTracer(t obs.Tracer) { e.tr = t }
 
 // Stats returns a snapshot of the counters.
 func (e *Executor) Stats() Stats { return e.stat }
@@ -64,15 +70,23 @@ func (e *Executor) Execute(t *txn.Transaction) txn.Result {
 	for _, in := range t.Instrs {
 		e.stat.Instructions++
 		var err error
+		var label string
+		var nbytes int
+		var busyBefore sim.Duration
+		if e.tr != nil {
+			busyBefore = e.ch.Stats().BusyTime
+		}
 		switch v := in.(type) {
 		case txn.ChipControl:
 			// C/E Control µFSM: pure modifier, no bus time.
 			sel = v.Mask
 		case txn.CmdAddr:
 			// Command/Address Writer µFSM.
+			label = "cmd-addr"
 			end, err = e.ch.Latch(sel, v.Latches, t.OpID)
 		case txn.DataWrite:
 			// Packetizer fetches from DRAM; Data Writer drives DQ/DQS.
+			label, nbytes = "data-write", v.N
 			var window []byte
 			window, err = e.mem.Window(v.Addr, v.N)
 			if err == nil {
@@ -81,6 +95,7 @@ func (e *Executor) Execute(t *txn.Transaction) txn.Result {
 			}
 		case txn.DataRead:
 			// Data Reader µFSM strobes DQS; Packetizer stores to DRAM.
+			label, nbytes = "data-read", v.N
 			var data []byte
 			data, end, err = e.ch.DataOut(sel, v.N, t.OpID)
 			if err == nil {
@@ -94,9 +109,18 @@ func (e *Executor) Execute(t *txn.Transaction) txn.Result {
 			}
 		case txn.TimerWait:
 			// Timer µFSM.
+			label = "timer-wait"
 			end, err = e.ch.Pause(v.D, t.OpID)
 		default:
 			err = fmt.Errorf("ufsm: unknown instruction %T", in)
+		}
+		if e.tr != nil && label != "" {
+			e.tr.Event(obs.Event{
+				Time: end, Kind: obs.KindHWInstr,
+				OpID: t.OpID, TxnID: t.ID, Chip: firstChip(sel),
+				Dur: e.ch.Stats().BusyTime - busyBefore, Bytes: nbytes,
+				Err: err != nil, Label: label,
+			})
 		}
 		if err != nil {
 			return txn.Result{Captured: captured, End: end, Err: err}
@@ -104,4 +128,15 @@ func (e *Executor) Execute(t *txn.Transaction) txn.Result {
 	}
 	e.stat.Transactions++
 	return txn.Result{Captured: captured, End: end}
+}
+
+// firstChip returns the lowest selected chip index for event tagging,
+// or -1 when nothing is selected.
+func firstChip(m bus.ChipMask) int {
+	for i := 0; i < 16; i++ {
+		if m.Has(i) {
+			return i
+		}
+	}
+	return -1
 }
