@@ -20,7 +20,9 @@ import (
 	"repro/internal/ssd"
 )
 
-// benchOpt keeps per-iteration work small while preserving shapes.
+// benchOpt keeps per-iteration work small while preserving shapes. The
+// zero Parallel fans each sweep's rigs out across the CPUs; the
+// serial-vs-parallel comparison lives in BenchmarkFig10Sweep.
 func benchOpt() exp.Options {
 	return exp.Options{Ops: 60, WaysList: []int{2, 8}, Blocks: 16}
 }
@@ -161,23 +163,28 @@ func readBandwidth(b *testing.B, cfg ssd.BuildConfig, ops, qd int) float64 {
 
 // BenchmarkAblationTxnScheduler compares BABOL's transaction-scheduler
 // policies at 4 ways — the design choice §V leaves to the SSD Architect.
+// The policies are enumerated as an ordered job table (a map would give
+// the sub-benchmarks a shuffled order run to run).
 func BenchmarkAblationTxnScheduler(b *testing.B) {
 	tm := onfi.DefaultTiming()
 	bus := onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: 200}
-	policies := map[string]func() sched.TxnQueue{
-		"issue-first":    sched.NewTxnIssueFirst,
-		"round-robin":    sched.NewTxnRoundRobin,
-		"fifo":           sched.NewTxnFIFO,
-		"shortest-first": func() sched.TxnQueue { return sched.NewTxnShortestFirst(tm, bus) },
+	jobs := []struct {
+		name string
+		mk   func() sched.TxnQueue
+	}{
+		{"issue-first", sched.NewTxnIssueFirst},
+		{"round-robin", sched.NewTxnRoundRobin},
+		{"fifo", sched.NewTxnFIFO},
+		{"shortest-first", func() sched.TxnQueue { return sched.NewTxnShortestFirst(tm, bus) }},
 	}
-	for name, mk := range policies {
-		mk := mk
-		b.Run(name, func(b *testing.B) {
+	for _, j := range jobs {
+		j := j
+		b.Run(j.name, func(b *testing.B) {
 			var mbps float64
 			for i := 0; i < b.N; i++ {
 				mbps = readBandwidth(b, ssd.BuildConfig{
 					Params: benchParams(), Ways: 4, RateMT: 200,
-					Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000, TxnQueue: mk(),
+					Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000, TxnQueue: j.mk(),
 				}, 80, 16)
 			}
 			b.ReportMetric(mbps, "MB/s")
@@ -222,32 +229,30 @@ func BenchmarkAblationPollVsFixedWait(b *testing.B) {
 		rig.Kernel.Run()
 		return sim.Duration(end)
 	}
-	b.Run("poll", func(b *testing.B) {
-		var d sim.Duration
-		for i := 0; i < b.N; i++ {
-			d = run(b, false)
-		}
-		b.ReportMetric(d.Micros(), "us/read")
-	})
-	b.Run("fixed-wait", func(b *testing.B) {
-		var d sim.Duration
-		for i := 0; i < b.N; i++ {
-			d = run(b, true)
-		}
-		b.ReportMetric(d.Micros(), "us/read")
-	})
+	for _, j := range []struct {
+		name  string
+		fixed bool
+	}{{"poll", false}, {"fixed-wait", true}} {
+		j := j
+		b.Run(j.name, func(b *testing.B) {
+			var d sim.Duration
+			for i := 0; i < b.N; i++ {
+				d = run(b, j.fixed)
+			}
+			b.ReportMetric(d.Micros(), "us/read")
+		})
+	}
 }
 
 // BenchmarkAblationECC measures the end-to-end cost of running the
 // SEC-DED datapath on every read.
 func BenchmarkAblationECC(b *testing.B) {
-	for _, ecc := range []bool{false, true} {
-		ecc := ecc
-		name := "off"
-		if ecc {
-			name = "on"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, j := range []struct {
+		name string
+		ecc  bool
+	}{{"off", false}, {"on", true}} {
+		ecc := j.ecc
+		b.Run(j.name, func(b *testing.B) {
 			var mbps float64
 			for i := 0; i < b.N; i++ {
 				mbps = readBandwidth(b, ssd.BuildConfig{
@@ -313,20 +318,19 @@ func BenchmarkAblationCopybackGC(b *testing.B) {
 		}
 		return res.BandwidthMBps(p.Geometry.PageBytes)
 	}
-	b.Run("read-program", func(b *testing.B) {
-		var mbps float64
-		for i := 0; i < b.N; i++ {
-			mbps = run(b, false)
-		}
-		b.ReportMetric(mbps, "MB/s")
-	})
-	b.Run("copyback", func(b *testing.B) {
-		var mbps float64
-		for i := 0; i < b.N; i++ {
-			mbps = run(b, true)
-		}
-		b.ReportMetric(mbps, "MB/s")
-	})
+	for _, j := range []struct {
+		name     string
+		copyback bool
+	}{{"read-program", false}, {"copyback", true}} {
+		j := j
+		b.Run(j.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = run(b, j.copyback)
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
 }
 
 // BenchmarkAblationEraseSuspend measures read p99 latency under write+GC
@@ -380,20 +384,19 @@ func BenchmarkAblationEraseSuspend(b *testing.B) {
 		rig.Kernel.Run()
 		return res.LatencyPercentile(99)
 	}
-	b.Run("baseline", func(b *testing.B) {
-		var p99 sim.Duration
-		for i := 0; i < b.N; i++ {
-			p99 = run(b, false)
-		}
-		b.ReportMetric(p99.Micros(), "p99-us")
-	})
-	b.Run("suspend", func(b *testing.B) {
-		var p99 sim.Duration
-		for i := 0; i < b.N; i++ {
-			p99 = run(b, true)
-		}
-		b.ReportMetric(p99.Micros(), "p99-us")
-	})
+	for _, j := range []struct {
+		name    string
+		suspend bool
+	}{{"baseline", false}, {"suspend", true}} {
+		j := j
+		b.Run(j.name, func(b *testing.B) {
+			var p99 sim.Duration
+			for i := 0; i < b.N; i++ {
+				p99 = run(b, j.suspend)
+			}
+			b.ReportMetric(p99.Micros(), "p99-us")
+		})
+	}
 }
 
 // BenchmarkAblationMultiPlane compares multi-plane reads (one shared tR
@@ -450,28 +453,55 @@ func BenchmarkAblationMultiPlane(b *testing.B) {
 		rig.Kernel.Run()
 		return sim.Duration(end)
 	}
-	b.Run("single-plane", func(b *testing.B) {
-		var d sim.Duration
-		for i := 0; i < b.N; i++ {
-			d = run(b, false)
-		}
-		b.ReportMetric(d.Micros(), "us/2pages")
-	})
-	b.Run("multi-plane", func(b *testing.B) {
-		var d sim.Duration
-		for i := 0; i < b.N; i++ {
-			d = run(b, true)
-		}
-		b.ReportMetric(d.Micros(), "us/2pages")
-	})
+	for _, j := range []struct {
+		name  string
+		multi bool
+	}{{"single-plane", false}, {"multi-plane", true}} {
+		j := j
+		b.Run(j.name, func(b *testing.B) {
+			var d sim.Duration
+			for i := 0; i < b.N; i++ {
+				d = run(b, j.multi)
+			}
+			b.ReportMetric(d.Micros(), "us/2pages")
+		})
+	}
+}
+
+// BenchmarkFig10Sweep runs the Figure 10 sweep serially and with the
+// worker pool — the wall-clock case for the parallel runner. Results
+// are byte-identical either way (TestParallelSweepDeterminism); only
+// the elapsed time differs.
+func BenchmarkFig10Sweep(b *testing.B) {
+	for _, j := range []struct {
+		name     string
+		parallel int
+	}{{"serial", 1}, {"parallel", 0}} {
+		j := j
+		b.Run(j.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := benchOpt()
+				opt.Parallel = j.parallel
+				if _, err := exp.Fig10(opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimulationSpeed reports how much virtual time one wall-second
 // of simulation covers, on an 8-way end-to-end read workload — the
-// practicality metric for using this library interactively.
+// practicality metric for using this library interactively. Rig
+// construction and preload run with the timer stopped so the metric
+// measures the discrete-event engine, not DRAM zeroing. Run with
+// -benchmem: allocs/op is the per-workload allocation budget the
+// kernel's slot-recycling event queue keeps flat.
 func BenchmarkSimulationSpeed(b *testing.B) {
+	b.ReportAllocs()
 	var virtualPerIter sim.Duration
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		rig, err := ssd.Build(ssd.BuildConfig{
 			Params: benchParams(), Ways: 8, RateMT: 200,
 			Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000,
@@ -482,6 +512,7 @@ func BenchmarkSimulationSpeed(b *testing.B) {
 		if err := rig.SSD.Preload(64); err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		if _, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
 			Pattern: hic.Sequential, Kind: hic.KindRead,
 			NumOps: 200, QueueDepth: 16, LogicalPages: 64,
@@ -490,7 +521,9 @@ func BenchmarkSimulationSpeed(b *testing.B) {
 		}
 		rig.Kernel.Run()
 		virtualPerIter = sim.Duration(rig.Kernel.Now())
+		b.StopTimer()
 		rig.Close()
+		b.StartTimer()
 	}
 	b.ReportMetric(virtualPerIter.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "virtual-s/wall-s")
 }

@@ -11,10 +11,15 @@
 //	babolbench split    software/hardware time split from the event stream
 //	babolbench all      everything above, in paper order
 //
-// Flags scale the runs; the defaults reproduce the full sweeps. With
-// -trace, every rig's controller event stream is appended to one JSONL
-// file (one JSON object per line; see internal/obs) for offline
-// analysis or replay through obs.ReadJSONL + obs.Metrics.
+// Flags scale the runs; the defaults reproduce the full sweeps. The
+// sweeps fan independent rigs out across the CPUs (-parallel bounds the
+// worker count; -parallel 1 pins the serial order for debugging) and
+// reassemble results in configuration order, so output is byte-identical
+// at any parallelism. With -trace, every rig's controller event stream
+// is appended to one JSONL file (one JSON object per line; see
+// internal/obs) for offline analysis or replay through obs.ReadJSONL +
+// obs.Metrics; traces are buffered per rig and merged in configuration
+// order, so they too are stable under parallelism.
 package main
 
 import (
@@ -31,8 +36,9 @@ func main() {
 	ops := flag.Int("ops", 240, "host operations per measured configuration")
 	blocks := flag.Int("blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
 	trace := flag.String("trace", "", "append controller events to this JSONL file")
+	parallel := flag.Int("parallel", 0, "rigs simulated concurrently (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-trace out.jsonl] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-trace out.jsonl] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,7 +46,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := exp.Options{Ops: *ops, Blocks: *blocks, WaysList: []int{2, 4, 8}}
+	opt := exp.Options{Ops: *ops, Blocks: *blocks, WaysList: []int{2, 4, 8}, Parallel: *parallel}
 
 	var sink *obs.JSONLWriter
 	if *trace != "" {

@@ -170,11 +170,16 @@ func (c *Channel) Latch(sel ChipMask, latches []onfi.Latch, opID uint64) (sim.Ti
 		}
 	}
 	c.stats.LatchBursts++
-	c.rec.Record(wave.Segment{
-		Start: start, End: end, Kind: wave.KindCmdAddr,
-		Chip: firstChip(sel), Label: wave.SummarizeLatches(latches),
-		Latches: latches, OpID: opID,
-	})
+	// Building the segment (label string included) is itself a cost, so
+	// skip it entirely unless the recorder is live — with recording off,
+	// a latch burst charges pure timing.
+	if c.rec.Enabled() {
+		c.rec.Record(wave.Segment{
+			Start: start, End: end, Kind: wave.KindCmdAddr,
+			Chip: firstChip(sel), Label: wave.SummarizeLatches(latches),
+			Latches: latches, OpID: opID,
+		})
+	}
 	return end, nil
 }
 
@@ -204,10 +209,12 @@ func (c *Channel) DataOut(sel ChipMask, n int, opID uint64) ([]byte, sim.Time, e
 	}
 	c.stats.DataOutBursts++
 	c.stats.BytesOut += uint64(n)
-	c.rec.Record(wave.Segment{
-		Start: xferStart, End: end, Kind: wave.KindDataOut,
-		Chip: chip, Bytes: n, Label: "data out", OpID: opID,
-	})
+	if c.rec.Enabled() {
+		c.rec.Record(wave.Segment{
+			Start: xferStart, End: end, Kind: wave.KindDataOut,
+			Chip: chip, Bytes: n, Label: "data out", OpID: opID,
+		})
+	}
 	return data, end, nil
 }
 
@@ -238,10 +245,12 @@ func (c *Channel) DataIn(sel ChipMask, data []byte, opID uint64) (sim.Time, erro
 	}
 	c.stats.DataInBursts++
 	c.stats.BytesIn += uint64(len(data))
-	c.rec.Record(wave.Segment{
-		Start: start, End: end, Kind: wave.KindDataIn,
-		Chip: firstChip(sel), Bytes: len(data), Label: "data in", OpID: opID,
-	})
+	if c.rec.Enabled() {
+		c.rec.Record(wave.Segment{
+			Start: start, End: end, Kind: wave.KindDataIn,
+			Chip: firstChip(sel), Bytes: len(data), Label: "data in", OpID: opID,
+		})
+	}
 	return end, nil
 }
 
@@ -254,10 +263,12 @@ func (c *Channel) Pause(d sim.Duration, opID uint64) (sim.Time, error) {
 	}
 	start, end := c.claim(d)
 	c.stats.Pauses++
-	c.rec.Record(wave.Segment{
-		Start: start, End: end, Kind: wave.KindWait, Chip: -1,
-		Label: "timer", OpID: opID,
-	})
+	if c.rec.Enabled() {
+		c.rec.Record(wave.Segment{
+			Start: start, End: end, Kind: wave.KindWait, Chip: -1,
+			Label: "timer", OpID: opID,
+		})
+	}
 	return end, nil
 }
 

@@ -28,7 +28,16 @@ type Options struct {
 	Blocks int
 	// Tracer receives the event stream of every rig an experiment
 	// builds (e.g. a JSONL sink for babolbench -trace). nil disables.
+	// The tracer itself need not be concurrency-safe even when sweeps
+	// run in parallel: rigs trace into private buffers that are merged
+	// into it, in configuration order, after the sweep settles.
 	Tracer obs.Tracer
+	// Parallel bounds the sweep worker pool: how many rigs run
+	// concurrently (each on its own single-threaded kernel). 0 means
+	// one worker per available CPU; 1 forces the serial order, useful
+	// when debugging a single configuration. Results are deterministic
+	// and byte-identical at every setting.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hic"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/ssd"
 )
 
@@ -33,7 +34,17 @@ var fig10CPUs = []int{150, 200, 400, 1000}
 // clocks it starves the channel.
 func Fig10(opt Options) ([]Fig10Point, error) {
 	opt = opt.withDefaults()
-	var out []Fig10Point
+	// Enumerate the full configuration grid first, then fan the
+	// independent rigs out across the worker pool; out is indexed by
+	// job, so results land in enumeration order at any worker count.
+	type cfg struct {
+		params nand.Params
+		rate   int
+		luns   int
+		ctrl   ssd.ControllerKind
+		mhz    int
+	}
+	var cfgs []cfg
 	for _, preset := range nand.Presets() {
 		params := shrink(preset, opt.Blocks)
 		for _, rate := range []int{100, 200} {
@@ -41,34 +52,33 @@ func Fig10(opt Options) ([]Fig10Point, error) {
 				if luns > preset.LUNsPerChannel {
 					continue // the Micron module is wired for 2 LUNs only
 				}
-				run := func(kind ssd.ControllerKind, mhz int) error {
-					mbps, err := readThroughput(ssd.BuildConfig{
-						Params: params, Ways: luns, RateMT: rate,
-						Controller: kind, CPUMHz: mhz, Tracer: opt.Tracer,
-					}, hic.Sequential, opt.Ops, 2*luns)
-					if err != nil {
-						return fmt.Errorf("fig10 %s %dMT %v %dMHz %dLUN: %w",
-							preset.Name, rate, kind, mhz, luns, err)
-					}
-					out = append(out, Fig10Point{
-						Package: preset.Name, RateMT: rate, Controller: kind,
-						CPUMHz: mhz, LUNs: luns, MBps: mbps,
-					})
-					return nil
-				}
-				if err := run(ssd.CtrlHW, 1000); err != nil {
-					return nil, err
-				}
+				cfgs = append(cfgs, cfg{params, rate, luns, ssd.CtrlHW, 1000})
 				for _, mhz := range fig10CPUs {
-					if err := run(ssd.CtrlBabolRTOS, mhz); err != nil {
-						return nil, err
-					}
-					if err := run(ssd.CtrlBabolCoro, mhz); err != nil {
-						return nil, err
-					}
+					cfgs = append(cfgs, cfg{params, rate, luns, ssd.CtrlBabolRTOS, mhz})
+					cfgs = append(cfgs, cfg{params, rate, luns, ssd.CtrlBabolCoro, mhz})
 				}
 			}
 		}
+	}
+	out := make([]Fig10Point, len(cfgs))
+	err := sweep(opt, len(cfgs), func(i int, tracer obs.Tracer) error {
+		c := cfgs[i]
+		mbps, err := readThroughput(ssd.BuildConfig{
+			Params: c.params, Ways: c.luns, RateMT: c.rate,
+			Controller: c.ctrl, CPUMHz: c.mhz, Tracer: tracer,
+		}, hic.Sequential, opt.Ops, 2*c.luns)
+		if err != nil {
+			return fmt.Errorf("fig10 %s %dMT %v %dMHz %dLUN: %w",
+				c.params.Name, c.rate, c.ctrl, c.mhz, c.luns, err)
+		}
+		out[i] = Fig10Point{
+			Package: c.params.Name, RateMT: c.rate, Controller: c.ctrl,
+			CPUMHz: c.mhz, LUNs: c.luns, MBps: mbps,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

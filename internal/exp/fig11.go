@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hic"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/wave"
@@ -37,43 +38,46 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 	if reads < 4 {
 		reads = 4
 	}
-	var out []Fig11Result
-	for _, kind := range []ssd.ControllerKind{ssd.CtrlBabolRTOS, ssd.CtrlBabolCoro} {
+	kinds := []ssd.ControllerKind{ssd.CtrlBabolRTOS, ssd.CtrlBabolCoro}
+	out := make([]Fig11Result, len(kinds))
+	err := sweep(opt, len(kinds), func(i int, tracer obs.Tracer) error {
+		kind := kinds[i]
 		params := shrink(nand.Hynix(), opt.Blocks)
 		rig, err := ssd.Build(ssd.BuildConfig{
 			Params: params, Ways: 1, RateMT: 200,
-			Controller: kind, CPUMHz: 1000, Record: true, Tracer: opt.Tracer,
+			Controller: kind, CPUMHz: 1000, Record: true, Tracer: tracer,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		defer rig.Close()
 		if err := rig.SSD.Preload(reads); err != nil {
-			rig.Close()
-			return nil, err
+			return err
 		}
 		res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
 			Pattern: hic.Sequential, Kind: hic.KindRead,
 			NumOps: reads, QueueDepth: 1, LogicalPages: reads,
 		})
 		if err != nil {
-			rig.Close()
-			return nil, err
+			return err
 		}
 		rig.Kernel.Run()
 		if res.Completed != reads || res.Failed != 0 {
-			rig.Close()
-			return nil, fmt.Errorf("fig11 %v: %d/%d completed, %d failed", kind, res.Completed, reads, res.Failed)
+			return fmt.Errorf("fig11 %v: %d/%d completed, %d failed", kind, res.Completed, reads, res.Failed)
 		}
 		polls, period := pollCadence(rig.Channel.Recorder().Segments())
-		out = append(out, Fig11Result{
+		out[i] = Fig11Result{
 			Controller:      kind,
 			Reads:           reads,
 			PollsPerRead:    float64(polls) / float64(reads),
 			MeanPollPeriod:  period,
 			MeanReadLatency: res.MeanLatency(),
 			Trace:           firstOpTrace(rig.Channel.Recorder().Segments()),
-		})
-		rig.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

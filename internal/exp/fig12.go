@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hic"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/ssd"
 )
 
@@ -29,20 +30,35 @@ func Fig12(opt Options) ([]Fig12Point, error) {
 	if len(ways) == 0 || ways[0] != 1 {
 		ways = append([]int{1}, ways...)
 	}
-	var out []Fig12Point
+	type cfg struct {
+		pattern hic.Pattern
+		ways    int
+		ctrl    ssd.ControllerKind
+	}
+	var cfgs []cfg
 	for _, pattern := range []hic.Pattern{hic.Sequential, hic.Random} {
 		for _, w := range ways {
 			for _, kind := range []ssd.ControllerKind{ssd.CtrlHW, ssd.CtrlBabolRTOS, ssd.CtrlBabolCoro} {
-				mbps, err := readThroughput(ssd.BuildConfig{
-					Params: shrink(nand.Hynix(), opt.Blocks), Ways: w, RateMT: 200,
-					Controller: kind, CPUMHz: 1000, Tracer: opt.Tracer,
-				}, pattern, opt.Ops, 4*w)
-				if err != nil {
-					return nil, fmt.Errorf("fig12 %v %v %dway: %w", pattern, kind, w, err)
-				}
-				out = append(out, Fig12Point{Pattern: pattern, Controller: kind, Ways: w, MBps: mbps})
+				cfgs = append(cfgs, cfg{pattern, w, kind})
 			}
 		}
+	}
+	params := shrink(nand.Hynix(), opt.Blocks)
+	out := make([]Fig12Point, len(cfgs))
+	err := sweep(opt, len(cfgs), func(i int, tracer obs.Tracer) error {
+		c := cfgs[i]
+		mbps, err := readThroughput(ssd.BuildConfig{
+			Params: params, Ways: c.ways, RateMT: 200,
+			Controller: c.ctrl, CPUMHz: 1000, Tracer: tracer,
+		}, c.pattern, opt.Ops, 4*c.ways)
+		if err != nil {
+			return fmt.Errorf("fig12 %v %v %dway: %w", c.pattern, c.ctrl, c.ways, err)
+		}
+		out[i] = Fig12Point{Pattern: c.pattern, Controller: c.ctrl, Ways: c.ways, MBps: mbps}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

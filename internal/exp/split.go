@@ -57,46 +57,56 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 	if reads < 8 {
 		reads = 8
 	}
-	var out []SplitRow
+	type cfg struct {
+		kind ssd.ControllerKind
+		mhz  int
+	}
+	var cfgs []cfg
 	for _, kind := range []ssd.ControllerKind{ssd.CtrlBabolRTOS, ssd.CtrlBabolCoro} {
 		for _, mhz := range splitCPUs {
-			rig, err := ssd.Build(ssd.BuildConfig{
-				Params: shrink(nand.Hynix(), opt.Blocks), Ways: 1, RateMT: 200,
-				Controller: kind, CPUMHz: mhz,
-				Observe: true, Tracer: opt.Tracer,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := rig.SSD.Preload(reads); err != nil {
-				rig.Close()
-				return nil, err
-			}
-			res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
-				Pattern: hic.Sequential, Kind: hic.KindRead,
-				NumOps: reads, QueueDepth: 2, LogicalPages: reads,
-			})
-			if err != nil {
-				rig.Close()
-				return nil, err
-			}
-			rig.Kernel.Run()
-			if res.Completed != reads || res.Failed != 0 {
-				rig.Close()
-				return nil, fmt.Errorf("timesplit %v@%d: %d/%d completed, %d failed",
-					kind, mhz, res.Completed, reads, res.Failed)
-			}
-			s := rig.Metrics.Snapshot()
-			out = append(out, SplitRow{
-				Controller: kind, CPUMHz: mhz, Reads: reads,
-				Software: s.SoftwareTime, Hardware: s.HardwareTime,
-				Elapsed:        s.Span(),
-				PollResubmits:  s.PollResubmits,
-				MeanQueueDepth: s.QueueDepth.Mean(),
-				Charges:        s.Charges,
-			})
-			rig.Close()
+			cfgs = append(cfgs, cfg{kind, mhz})
 		}
+	}
+	out := make([]SplitRow, len(cfgs))
+	err := sweep(opt, len(cfgs), func(i int, tracer obs.Tracer) error {
+		c := cfgs[i]
+		rig, err := ssd.Build(ssd.BuildConfig{
+			Params: shrink(nand.Hynix(), opt.Blocks), Ways: 1, RateMT: 200,
+			Controller: c.kind, CPUMHz: c.mhz,
+			Observe: true, Tracer: tracer,
+		})
+		if err != nil {
+			return err
+		}
+		defer rig.Close()
+		if err := rig.SSD.Preload(reads); err != nil {
+			return err
+		}
+		res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+			Pattern: hic.Sequential, Kind: hic.KindRead,
+			NumOps: reads, QueueDepth: 2, LogicalPages: reads,
+		})
+		if err != nil {
+			return err
+		}
+		rig.Kernel.Run()
+		if res.Completed != reads || res.Failed != 0 {
+			return fmt.Errorf("timesplit %v@%d: %d/%d completed, %d failed",
+				c.kind, c.mhz, res.Completed, reads, res.Failed)
+		}
+		s := rig.Metrics.Snapshot()
+		out[i] = SplitRow{
+			Controller: c.kind, CPUMHz: c.mhz, Reads: reads,
+			Software: s.SoftwareTime, Hardware: s.HardwareTime,
+			Elapsed:        s.Span(),
+			PollResubmits:  s.PollResubmits,
+			MeanQueueDepth: s.QueueDepth.Mean(),
+			Charges:        s.Charges,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

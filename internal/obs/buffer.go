@@ -1,0 +1,40 @@
+package obs
+
+// Buffer is a Tracer that records the event stream in memory, in
+// emission order. It is the building block of the parallel experiment
+// runner's trace discipline: every concurrently-running rig traces into
+// its own Buffer (so no Tracer implementation ever sees concurrent
+// calls), and when the sweep finishes the buffers are replayed into the
+// shared sink in deterministic configuration order. The merged stream is
+// therefore byte-identical to a serial run, regardless of worker count
+// or completion order.
+//
+// A Buffer is not safe for concurrent use by multiple goroutines — one
+// rig, one Buffer.
+type Buffer struct {
+	events []Event
+}
+
+// Event implements Tracer.
+func (b *Buffer) Event(e Event) { b.events = append(b.events, e) }
+
+// Len reports the number of buffered events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Events returns the buffered stream in emission order. The slice is
+// the buffer's backing store; callers must not append to it.
+func (b *Buffer) Events() []Event { return b.events }
+
+// ReplayInto forwards the buffered stream to t in emission order. A nil
+// t is a no-op, preserving the "nil means off" convention.
+func (b *Buffer) ReplayInto(t Tracer) {
+	if t == nil {
+		return
+	}
+	for _, e := range b.events {
+		t.Event(e)
+	}
+}
+
+// Reset drops the buffered events, retaining capacity for reuse.
+func (b *Buffer) Reset() { b.events = b.events[:0] }

@@ -1,0 +1,46 @@
+package obs
+
+import "testing"
+
+func TestBufferRecordsAndReplaysInOrder(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 5; i++ {
+		b.Event(Event{OpID: uint64(i), Kind: KindOpFinished})
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	var got []uint64
+	b.ReplayInto(Func(func(e Event) { got = append(got, e.OpID) }))
+	if len(got) != 5 {
+		t.Fatalf("replayed %d events", len(got))
+	}
+	for i, id := range got {
+		if id != uint64(i) {
+			t.Fatalf("replay out of order: %v", got)
+		}
+	}
+	// Replay is non-destructive.
+	if b.Len() != 5 {
+		t.Fatalf("replay consumed the buffer: Len = %d", b.Len())
+	}
+}
+
+func TestBufferReplayIntoNilIsNoOp(t *testing.T) {
+	var b Buffer
+	b.Event(Event{})
+	b.ReplayInto(nil) // must not panic
+}
+
+func TestBufferReset(t *testing.T) {
+	var b Buffer
+	b.Event(Event{})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", b.Len())
+	}
+	b.Event(Event{OpID: 9})
+	if b.Len() != 1 || b.Events()[0].OpID != 9 {
+		t.Fatal("buffer unusable after Reset")
+	}
+}

@@ -1,69 +1,77 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a unit of scheduled work. The function runs at the event's
-// virtual time; it may schedule further events.
-type event struct {
-	at  Time
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
-	id  EventID
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. An
+// EventID encodes the slot that holds the event plus a generation stamp,
+// so IDs of events that have already fired (or been cancelled) become
+// harmlessly stale the moment their slot is recycled: cancelling one is
+// an O(1) no-op, never a leak. The zero EventID is never issued.
 type EventID uint64
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// slot holds one scheduled event. Slots are recycled through a free
+// list so the steady-state hot path — schedule, fire, schedule — does
+// not allocate; gen distinguishes successive occupants of the same slot.
+type slot struct {
+	at        Time
+	seq       uint64 // insertion order; breaks ties deterministically
+	fn        func()
+	gen       uint32
+	cancelled bool
 }
 
-// Kernel is a deterministic discrete-event simulator. Events scheduled for
-// the same instant fire in the order they were scheduled. Kernel is not
-// safe for concurrent use; the entire simulation runs on one goroutine
-// (operation coroutines hand control back and forth synchronously).
+const slotIndexBits = 32
+
+func makeEventID(idx int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<slotIndexBits | uint64(uint32(idx)))
+}
+
+func splitEventID(id EventID) (idx int32, gen uint32) {
+	return int32(uint32(id)), uint32(id >> slotIndexBits)
+}
+
+// Kernel is a deterministic discrete-event simulator. Events scheduled
+// for the same instant fire in the order they were scheduled. Kernel is
+// not safe for concurrent use; the entire simulation runs on one
+// goroutine (operation coroutines hand control back and forth
+// synchronously). Concurrency in the experiment harness therefore means
+// many kernels, one per rig, never one kernel shared.
+//
+// Accounting semantics: Executed counts events that actually fired
+// (cancelled events never count); Pending counts events that are
+// scheduled and not cancelled, i.e. the number of fn calls still owed if
+// the kernel runs to quiescence with no further scheduling or
+// cancelling.
+//
+// The event queue is an index-based binary min-heap over value slots —
+// no per-event box, no container/heap interface traffic — so the
+// schedule/fire hot path is allocation-free once the slot and heap
+// arrays have grown to the simulation's high-water mark.
 type Kernel struct {
-	now       Time
-	pq        eventHeap
-	seq       uint64
-	cancelled map[EventID]bool
-	running   bool
-	executed  uint64
+	now      Time
+	slots    []slot
+	free     []int32 // recycled slot indices
+	heap     []int32 // slot indices ordered by (at, seq)
+	seq      uint64
+	running  bool
+	executed uint64
+	live     int // scheduled and not cancelled
 }
 
 // NewKernel returns a kernel with the clock at zero.
-func NewKernel() *Kernel {
-	return &Kernel{cancelled: make(map[EventID]bool)}
-}
+func NewKernel() *Kernel { return &Kernel{} }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Executed reports how many events have fired so far.
+// Executed reports how many events have fired so far. Cancelled events
+// never fire, so they are never counted.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
-// Pending reports how many events are scheduled (including cancelled ones
-// not yet reaped).
-func (k *Kernel) Pending() int { return len(k.pq) }
+// Pending reports how many live events are scheduled. Cancelled events
+// are excluded even if their slots have not been reaped from the heap
+// yet.
+func (k *Kernel) Pending() int { return k.live }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug.
@@ -72,9 +80,19 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, k.now))
 	}
 	k.seq++
-	id := EventID(k.seq)
-	heap.Push(&k.pq, &event{at: t, seq: k.seq, fn: fn, id: id})
-	return id
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, slot{gen: 1})
+		idx = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.at, s.seq, s.fn, s.cancelled = t, k.seq, fn, false
+	k.heapPush(idx)
+	k.live++
+	return makeEventID(idx, s.gen)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -85,22 +103,51 @@ func (k *Kernel) After(d Duration, fn func()) EventID {
 	return k.At(k.now.Add(d), fn)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (k *Kernel) Cancel(id EventID) { k.cancelled[id] = true }
+// Cancel prevents a scheduled event from firing. Cancelling an event
+// that already fired, or cancelling twice, is an O(1) no-op: the
+// generation stamp in the EventID no longer matches the slot (or the
+// slot is already marked), so no state is touched and nothing leaks.
+func (k *Kernel) Cancel(id EventID) {
+	idx, gen := splitEventID(id)
+	if int(idx) >= len(k.slots) {
+		return
+	}
+	s := &k.slots[idx]
+	if s.gen != gen || s.fn == nil || s.cancelled {
+		return
+	}
+	s.cancelled = true
+	k.live--
+}
+
+// release returns a fired or reaped slot to the free list, bumping its
+// generation so outstanding EventIDs for the old occupant go stale.
+func (k *Kernel) release(idx int32) {
+	s := &k.slots[idx]
+	s.fn = nil // drop the closure so the GC can collect captured state
+	s.gen++
+	if s.gen == 0 { // generation wrapped; 0 is reserved for "never issued"
+		s.gen = 1
+	}
+	k.free = append(k.free, idx)
+}
 
 // Step fires the single earliest pending event. It reports false if no
 // events remain.
 func (k *Kernel) Step() bool {
-	for len(k.pq) > 0 {
-		e := heap.Pop(&k.pq).(*event)
-		if k.cancelled[e.id] {
-			delete(k.cancelled, e.id)
+	for len(k.heap) > 0 {
+		idx := k.heapPop()
+		s := &k.slots[idx]
+		if s.cancelled {
+			k.release(idx)
 			continue
 		}
-		k.now = e.at
+		k.now = s.at
 		k.executed++
-		e.fn()
+		k.live--
+		fn := s.fn
+		k.release(idx)
+		fn()
 		return true
 	}
 	return false
@@ -119,8 +166,8 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(deadline Time) {
 	k.running = true
 	for k.running {
-		e := k.peek()
-		if e == nil || e.at > deadline {
+		at, ok := k.peek()
+		if !ok || at > deadline {
 			break
 		}
 		k.Step()
@@ -138,14 +185,69 @@ func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
 // It may be called from inside an event function.
 func (k *Kernel) Stop() { k.running = false }
 
-func (k *Kernel) peek() *event {
-	for len(k.pq) > 0 {
-		e := k.pq[0]
-		if !k.cancelled[e.id] {
-			return e
+// peek reports the firing time of the earliest live event, reaping any
+// cancelled slots that have bubbled to the top of the heap.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.heap) > 0 {
+		idx := k.heap[0]
+		s := &k.slots[idx]
+		if !s.cancelled {
+			return s.at, true
 		}
-		heap.Pop(&k.pq)
-		delete(k.cancelled, e.id)
+		k.heapPop()
+		k.release(idx)
 	}
-	return nil
+	return 0, false
+}
+
+// ------------------------------------------------------------- heap --
+//
+// A hand-rolled binary min-heap over slot indices. Equivalent to
+// container/heap on a []int32 but without the interface boxing and
+// indirect calls on every sift comparison.
+
+func (k *Kernel) heapLess(a, b int32) bool {
+	sa, sb := &k.slots[a], &k.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (k *Kernel) heapPush(idx int32) {
+	k.heap = append(k.heap, idx)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heapLess(k.heap[i], k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) heapPop() int32 {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	k.heap = h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && k.heapLess(h[right], h[left]) {
+			least = right
+		}
+		if !k.heapLess(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
 }

@@ -5,6 +5,14 @@
 // this kernel. Virtual time is counted in integer picoseconds, which is
 // fine enough to represent sub-nanosecond waveform details exactly and
 // wide enough (int64) to simulate more than a hundred days.
+//
+// Event accounting: Kernel.Executed counts events that actually fired;
+// a cancelled event never fires and is never counted. Kernel.Pending
+// counts events that are scheduled and not cancelled — the number of
+// callbacks still owed if the simulation runs to quiescence with no
+// further scheduling or cancelling. Cancel is O(1), and cancelling an
+// event that already fired (or cancelling the same event twice) is a
+// no-op that retains no state.
 package sim
 
 import (

@@ -62,6 +62,13 @@ type BuildConfig struct {
 	// Tracer receives the controllers' event streams; multi-channel rigs
 	// tag each channel's events with its index. nil disables tracing.
 	// The hardware baseline controller emits no events.
+	//
+	// Concurrency contract: a rig is single-threaded (everything runs on
+	// its kernel's goroutine), so the Tracer sees strictly sequential
+	// calls from this rig — but when many rigs run concurrently (the
+	// exp package's parallel sweeps), each rig must get its own Tracer;
+	// give each rig a private obs.Buffer and merge after the fact rather
+	// than sharing one sink.
 	Tracer obs.Tracer
 	// Observe additionally aggregates the event stream into Rig.Metrics
 	// (it composes with Tracer: both sinks see every event).

@@ -79,6 +79,12 @@ type Recorder struct {
 // NewRecorder returns an enabled recorder.
 func NewRecorder() *Recorder { return &Recorder{enabled: true} }
 
+// Enabled reports whether Record will capture anything. Hot paths check
+// it before building a Segment whose construction is itself costly
+// (e.g. rendering a latch-burst label), so a disabled recorder costs
+// one branch rather than a string build per bus segment.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
 // Record appends a segment if recording is enabled.
 func (r *Recorder) Record(s Segment) {
 	if r == nil || !r.enabled {
