@@ -11,6 +11,15 @@
 //	babolbench split    software/hardware time split from the event stream
 //	babolbench all      everything above, in paper order
 //
+// plus the software logic analyzer over recorded traces:
+//
+//	babolbench analyze trace.jsonl
+//
+// which reconstructs per-op spans (latency breakdown percentiles),
+// per-channel Gantt timelines with occupancy statistics, and a protocol
+// violation report from a -trace JSONL file; -csv switches the report
+// to machine-readable CSV.
+//
 // Flags scale the runs; the defaults reproduce the full sweeps. The
 // sweeps fan independent rigs out across the CPUs (-parallel bounds the
 // worker count; -parallel 1 pins the serial order for debugging) and
@@ -20,16 +29,75 @@
 // internal/obs) for offline analysis or replay through obs.ReadJSONL +
 // obs.Metrics; traces are buffered per rig and merged in configuration
 // order, so they too are stable under parallelism.
+//
+// With -http ADDR, babolbench serves live introspection while the
+// experiments run: /metrics is a JSON snapshot of the aggregated event
+// stream (updated concurrently as rigs execute, safely — the endpoint
+// aggregates through a mutex-guarded registry that does not perturb the
+// deterministic trace path), and the Go pprof handlers are mounted
+// under /debug/pprof/ for profiling the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
+	"repro/internal/analyze"
 	"repro/internal/exp"
 	"repro/internal/obs"
 )
+
+// analyzeTrace is the `babolbench analyze` subcommand: decode a JSONL
+// trace and run the software logic analyzer over it.
+func analyzeTrace(path string, csv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res := analyze.Analyze(events)
+	if csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Print(res.Render())
+	}
+	return nil
+}
+
+// serveIntrospection mounts /metrics and /debug/pprof/ on addr and
+// returns the live tracer the experiments should feed. The server stays
+// up for the process lifetime; errors binding the socket are fatal
+// (asking for introspection and silently not getting it is worse than
+// failing).
+func serveIntrospection(addr string) (obs.Tracer, error) {
+	live := obs.NewSyncMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(live.Snapshot))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-http %s: %w", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "babolbench: live introspection on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "babolbench: introspection server:", err)
+		}
+	}()
+	return live, nil
+}
 
 func main() {
 	csv := flag.Bool("csv", false, "emit fig10/fig12/split as CSV instead of tables")
@@ -37,16 +105,37 @@ func main() {
 	blocks := flag.Int("blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
 	trace := flag.String("trace", "", "append controller events to this JSONL file")
 	parallel := flag.Int("parallel", 0, "rigs simulated concurrently (0 = one per CPU, 1 = serial; results are identical at any setting)")
+	httpAddr := flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-trace out.jsonl] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(os.Stderr, "       babolbench [-csv] analyze trace.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if flag.Arg(0) == "analyze" {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := analyzeTrace(flag.Arg(1), *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "babolbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	opt := exp.Options{Ops: *ops, Blocks: *blocks, WaysList: []int{2, 4, 8}, Parallel: *parallel}
+	if *httpAddr != "" {
+		live, err := serveIntrospection(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "babolbench:", err)
+			os.Exit(1)
+		}
+		opt.Live = live
+	}
 
 	var sink *obs.JSONLWriter
 	if *trace != "" {

@@ -161,6 +161,19 @@ func (c *Channel) Latch(sel ChipMask, latches []onfi.Latch, opID uint64) (sim.Ti
 		return 0, fmt.Errorf("bus: empty latch burst")
 	}
 	start, end := c.claim(c.timing.LatchSegment(len(latches)))
+	// Capture each selected chip's busy horizon before the latch so a
+	// busy interval the command *starts* (tR, tPROG, tBERS) can be
+	// recorded below; a status poll while busy leaves the horizon alone
+	// and records nothing.
+	var prevReady []sim.Time
+	if c.rec.Enabled() {
+		prevReady = make([]sim.Time, len(c.chips))
+		for i := range c.chips {
+			if sel.Has(i) {
+				prevReady[i] = c.chips[i].ReadyAt()
+			}
+		}
+	}
 	// The LUN absorbs the command at the end of the burst.
 	for i := range c.chips {
 		if sel.Has(i) {
@@ -179,8 +192,44 @@ func (c *Channel) Latch(sel ChipMask, latches []onfi.Latch, opID uint64) (sim.Ti
 			Chip: firstChip(sel), Label: wave.SummarizeLatches(latches),
 			Latches: latches, OpID: opID,
 		})
+		// Record the die-busy window this burst announced — the R/B#
+		// line of the paper's logic-analyzer captures. The segment
+		// reflects the busy time declared at command acceptance; a later
+		// suspend can end the real busy interval early.
+		for i := range c.chips {
+			if !sel.Has(i) {
+				continue
+			}
+			if ready := c.chips[i].ReadyAt(); ready > end && ready > prevReady[i] {
+				c.rec.Record(wave.Segment{
+					Start: end, End: ready, Kind: wave.KindBusy,
+					Chip: i, Label: busyLabel(latches), OpID: opID,
+				})
+			}
+		}
 	}
 	return end, nil
+}
+
+// busyLabel names the busy interval a latch burst starts, after the
+// timing parameter that governs it.
+func busyLabel(latches []onfi.Latch) string {
+	last := latches[len(latches)-1]
+	if last.Kind != onfi.LatchCmd {
+		return "busy"
+	}
+	switch onfi.Cmd(last.Value) {
+	case onfi.CmdRead2, onfi.CmdCacheRead, onfi.CmdCacheReadEnd, onfi.CmdCopybackRead:
+		return "tR"
+	case onfi.CmdProgram2, onfi.CmdCacheProgram2:
+		return "tPROG"
+	case onfi.CmdErase2:
+		return "tBERS"
+	case onfi.CmdReset, onfi.CmdSynchronousReset:
+		return "tRST"
+	default:
+		return "busy"
+	}
 }
 
 // DataOut streams n bytes from one chip to the controller. The channel is

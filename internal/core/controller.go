@@ -180,18 +180,22 @@ func (c *Controller) Start(req OpRequest) uint64 {
 	st := &opState{id: id, req: req, ctrl: c, startedAt: c.k.Now()}
 	c.stats.OpsSubmitted++
 	// Admission is a firmware action: charge it.
-	c.charge(c.cpu.Profile().AdmitCycles, "admit", func() { c.admit(st) })
+	c.charge(id, c.cpu.Profile().AdmitCycles, "admit", func() { c.admit(st) })
 	return id
 }
 
 // charge is the single funnel for firmware work: it emits a CPU-charge
 // event and then serializes fn on the CPU model. Because every
 // cpu.Exec in the controller goes through here, the sum of the emitted
-// durations reproduces cpumodel.Stats.BusyTime exactly.
-func (c *Controller) charge(cycles int64, label string, fn func()) {
+// durations reproduces cpumodel.Stats.BusyTime exactly. opID attributes
+// the charge to the operation it serves (admit, switch, submit); it is
+// 0 for work not on behalf of a specific operation (the schedule pass),
+// so per-op sums from the event stream under-count by the scheduling
+// share — trace consumers that need exact totals sum all charges.
+func (c *Controller) charge(opID uint64, cycles int64, label string, fn func()) {
 	if c.tracer != nil {
 		c.tracer.Event(obs.Event{
-			Time: c.k.Now(), Kind: obs.KindCPUCharge,
+			Time: c.k.Now(), Kind: obs.KindCPUCharge, OpID: opID,
 			Cycles: cycles, Dur: c.cpu.CycleTime(cycles), Label: label,
 		})
 	}
@@ -308,7 +312,7 @@ func (c *Controller) pump() {
 	}
 	c.dispatching = true
 	p := c.cpu.Profile()
-	c.charge(p.ScheduleCycles, "schedule", func() {
+	c.charge(0, p.ScheduleCycles, "schedule", func() {
 		if c.closed {
 			c.dispatching = false
 			return
@@ -319,7 +323,7 @@ func (c *Controller) pump() {
 			return
 		}
 		st := t.(*opState)
-		c.charge(p.SwitchCycles+st.wakeExtra, "switch", func() {
+		c.charge(st.id, p.SwitchCycles+st.wakeExtra, "switch", func() {
 			if c.closed {
 				c.dispatching = false
 				return
@@ -369,7 +373,7 @@ func (c *Controller) resumeOp(st *opState) {
 				})
 			}
 		}
-		c.charge(cycles, label, func() {
+		c.charge(st.id, cycles, label, func() {
 			if c.closed {
 				return
 			}
@@ -453,7 +457,7 @@ func (c *Controller) finishOp(st *opState, err error) {
 	p := c.cpu.Profile()
 	for _, w := range parked {
 		w := w
-		c.charge(p.AdmitCycles, "admit", func() { c.admit(w) })
+		c.charge(w.id, p.AdmitCycles, "admit", func() { c.admit(w) })
 	}
 }
 

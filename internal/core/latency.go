@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -27,35 +26,18 @@ func (l *LatencyStats) Count() int { return len(l.samples) }
 
 // Mean reports the average latency.
 func (l *LatencyStats) Mean() sim.Duration {
-	if len(l.samples) == 0 {
-		return 0
-	}
-	var sum sim.Duration
-	for _, s := range l.samples {
-		sum += s
-	}
-	return sum / sim.Duration(len(l.samples))
+	return sim.Mean(l.samples)
 }
 
 // Percentile reports the p-th percentile latency (0 < p ≤ 100) by the
 // nearest-rank method: the smallest sample with at least p % of the
 // distribution at or below it, rank ⌈p/100·n⌉.
 func (l *LatencyStats) Percentile(p float64) sim.Duration {
-	if len(l.samples) == 0 {
-		return 0
-	}
 	if !l.sorted {
 		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
 		l.sorted = true
 	}
-	idx := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(l.samples) {
-		idx = len(l.samples) - 1
-	}
-	return l.samples[idx]
+	return sim.Percentile(l.samples, p)
 }
 
 // Max reports the worst observed latency.

@@ -20,8 +20,8 @@ func TestPercentileNearestRank(t *testing.T) {
 		{n: 1, p: 50, want: 1},
 		{n: 1, p: 99, want: 1},
 		{n: 1, p: 100, want: 1},
-		{n: 3, p: 50, want: 2},   // old: 1
-		{n: 3, p: 90, want: 3},   // old: 2
+		{n: 3, p: 50, want: 2}, // old: 1
+		{n: 3, p: 90, want: 3}, // old: 2
 		{n: 3, p: 100, want: 3},
 		{n: 10, p: 50, want: 5},
 		{n: 10, p: 90, want: 9},

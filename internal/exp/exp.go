@@ -32,6 +32,13 @@ type Options struct {
 	// run in parallel: rigs trace into private buffers that are merged
 	// into it, in configuration order, after the sweep settles.
 	Tracer obs.Tracer
+	// Live receives every rig's events directly from the sweep workers,
+	// as they happen — the feed behind `babolbench -http` live
+	// introspection. Unlike Tracer it sees a nondeterministic
+	// interleaving of concurrent rigs and MUST be safe for concurrent
+	// use (obs.SyncMetrics is); use it only for order-insensitive
+	// aggregation. nil disables.
+	Live obs.Tracer
 	// Parallel bounds the sweep worker pool: how many rigs run
 	// concurrently (each on its own single-threaded kernel). 0 means
 	// one worker per available CPU; 1 forces the serial order, useful

@@ -86,16 +86,26 @@ func runJobs(workers, n int, run func(i int) error) (idx int, err error) {
 // to a serial run regardless of worker count. On failure, buffers
 // before the failing job are still replayed (matching how far a serial
 // run would have traced) and the lowest-indexed error is returned.
+//
+// Options.Live is the opposite trade: it is fed directly from the
+// workers as events happen, concurrently and in nondeterministic
+// interleaving, so a monitoring endpoint can watch a long sweep in
+// flight. The two compose — Live sees events immediately, Tracer sees
+// the same events deterministically ordered afterwards.
 func sweep(opt Options, n int, body func(i int, tracer obs.Tracer) error) error {
 	if opt.Tracer == nil {
 		_, err := runJobs(opt.workers(), n, func(i int) error {
-			return body(i, nil)
+			return body(i, opt.Live)
 		})
 		return err
 	}
 	bufs := make([]obs.Buffer, n)
 	idx, err := runJobs(opt.workers(), n, func(i int) error {
-		return body(i, &bufs[i])
+		var tr obs.Tracer = &bufs[i]
+		if opt.Live != nil {
+			tr = obs.Multi{&bufs[i], opt.Live}
+		}
+		return body(i, tr)
 	})
 	for i := 0; i < idx && i < n; i++ {
 		bufs[i].ReplayInto(opt.Tracer)

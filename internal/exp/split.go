@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analyze"
 	"repro/internal/hic"
 	"repro/internal/nand"
 	"repro/internal/obs"
@@ -33,6 +34,13 @@ type SplitRow struct {
 	MeanQueueDepth float64
 	// Charges breaks Software down per firmware action.
 	Charges map[string]obs.ChargeStats
+	// Components is the per-operation latency breakdown (queue wait,
+	// channel, cell, firmware) with percentile summaries, from the
+	// logic analyzer's span correlation over the same event stream.
+	Components analyze.Components
+	// Occupancy is the channel's reconstructed timeline statistics:
+	// busy/idle split, idle-gap fragmentation, die overlap.
+	Occupancy analyze.Occupancy
 }
 
 // SoftwareShare is Software / (Software + Hardware).
@@ -70,10 +78,18 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 	out := make([]SplitRow, len(cfgs))
 	err := sweep(opt, len(cfgs), func(i int, tracer obs.Tracer) error {
 		c := cfgs[i]
+		// The analyzer needs the rig's raw stream regardless of whether
+		// the sweep has an external tracer; capture it locally and
+		// forward to the sweep's sink as well.
+		var buf obs.Buffer
+		rigTracer := obs.Tracer(&buf)
+		if tracer != nil {
+			rigTracer = obs.Multi{tracer, &buf}
+		}
 		rig, err := ssd.Build(ssd.BuildConfig{
 			Params: shrink(nand.Hynix(), opt.Blocks), Ways: 1, RateMT: 200,
 			Controller: c.kind, CPUMHz: c.mhz,
-			Observe: true, Tracer: tracer,
+			Observe: true, Tracer: rigTracer,
 		})
 		if err != nil {
 			return err
@@ -94,15 +110,33 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 			return fmt.Errorf("timesplit %v@%d: %d/%d completed, %d failed",
 				c.kind, c.mhz, res.Completed, reads, res.Failed)
 		}
-		s := rig.Metrics.Snapshot()
-		out[i] = SplitRow{
+		a := analyze.Analyze(buf.Events())
+		s := a.Metrics
+		// The analyzer's replayed registry must reproduce the rig's live
+		// one exactly — same events, same aggregation. A mismatch means
+		// the offline path (babolbench analyze) would disagree with the
+		// in-process numbers, so fail loudly rather than report either.
+		if live := rig.Metrics.Snapshot(); s.SoftwareTime != live.SoftwareTime ||
+			s.HardwareTime != live.HardwareTime || s.Events != live.Events {
+			return fmt.Errorf("timesplit %v@%d: analyzer replay diverged from live metrics (sw %v vs %v, hw %v vs %v, events %d vs %d)",
+				c.kind, c.mhz, s.SoftwareTime, live.SoftwareTime,
+				s.HardwareTime, live.HardwareTime, s.Events, live.Events)
+		}
+		row := SplitRow{
 			Controller: c.kind, CPUMHz: c.mhz, Reads: reads,
 			Software: s.SoftwareTime, Hardware: s.HardwareTime,
 			Elapsed:        s.Span(),
 			PollResubmits:  s.PollResubmits,
 			MeanQueueDepth: s.QueueDepth.Mean(),
 			Charges:        s.Charges,
+			Components:     a.Components,
 		}
+		if len(a.Runs) == 1 {
+			if tl := a.Runs[0].Timelines[0]; tl != nil {
+				row.Occupancy = tl.Occupancy()
+			}
+		}
+		out[i] = row
 		return nil
 	})
 	if err != nil {
@@ -111,14 +145,21 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 	return out, nil
 }
 
-// TimeSplitCSV renders the decomposition as machine-readable CSV.
+// TimeSplitCSV renders the decomposition as machine-readable CSV,
+// including the analyzer's per-op latency percentiles and channel
+// occupancy split.
 func TimeSplitCSV(rows []SplitRow) string {
-	out := "controller,cpu_mhz,reads,software_us,hardware_us,software_share,poll_resubmits,mean_qdepth\n"
+	out := "controller,cpu_mhz,reads,software_us,hardware_us,software_share,poll_resubmits,mean_qdepth," +
+		"lat_p50_us,lat_p99_us,queue_wait_p50_us,cell_p50_us,firmware_p50_us,busy_us,idle_us,utilization\n"
 	for _, r := range rows {
-		out += fmt.Sprintf("%s,%d,%d,%.2f,%.2f,%.3f,%d,%.2f\n",
+		c, o := r.Components, r.Occupancy
+		out += fmt.Sprintf("%s,%d,%d,%.2f,%.2f,%.3f,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f\n",
 			r.Controller, r.CPUMHz, r.Reads,
 			r.Software.Micros(), r.Hardware.Micros(), r.SoftwareShare(),
-			r.PollResubmits, r.MeanQueueDepth)
+			r.PollResubmits, r.MeanQueueDepth,
+			c.Latency.P50.Micros(), c.Latency.P99.Micros(),
+			c.QueueWait.P50.Micros(), c.CellTime.P50.Micros(), c.Firmware.P50.Micros(),
+			o.Busy.Micros(), o.Idle.Micros(), o.Utilization())
 	}
 	return out
 }
@@ -133,6 +174,18 @@ func RenderTimeSplit(rows []SplitRow) string {
 			100*r.SoftwareShare(), r.PollResubmits, r.MeanQueueDepth))
 	}
 	out := table("Time split: software (CPU) vs hardware (channel) time from the event stream", lines)
+	out += "\nPer-op latency breakdown (p50/p99 from span correlation):\n"
+	for _, r := range rows {
+		c := r.Components
+		out += fmt.Sprintf("%-6s @%-5d lat=%s/%s queue=%s/%s chan=%s/%s cell=%s/%s fw=%s/%s util=%.1f%%\n",
+			r.Controller, r.CPUMHz,
+			us(c.Latency.P50), us(c.Latency.P99),
+			us(c.QueueWait.P50), us(c.QueueWait.P99),
+			us(c.ChannelTime.P50), us(c.ChannelTime.P99),
+			us(c.CellTime.P50), us(c.CellTime.P99),
+			us(c.Firmware.P50), us(c.Firmware.P99),
+			100*r.Occupancy.Utilization())
+	}
 	for _, r := range rows {
 		labels := make([]string, 0, len(r.Charges))
 		for l := range r.Charges {

@@ -27,6 +27,19 @@ func TestTimeSplitShapes(t *testing.T) {
 		if len(r.Charges) == 0 {
 			t.Errorf("%v@%d: no charge breakdown", r.Controller, r.CPUMHz)
 		}
+		// The analyzer's span correlation must cover every op and its
+		// timeline occupancy must agree with the hardware-time sum —
+		// the offline `babolbench analyze` path and the in-process
+		// numbers are the same computation.
+		if r.Components.Latency.Count != r.Reads {
+			t.Errorf("%v@%d: %d spans for %d reads", r.Controller, r.CPUMHz, r.Components.Latency.Count, r.Reads)
+		}
+		if r.Occupancy.Busy != r.Hardware {
+			t.Errorf("%v@%d: occupancy busy %v != hardware %v", r.Controller, r.CPUMHz, r.Occupancy.Busy, r.Hardware)
+		}
+		if r.Components.Latency.P50 <= 0 || r.Components.Latency.P99 < r.Components.Latency.P50 {
+			t.Errorf("%v@%d: bad latency percentiles %+v", r.Controller, r.CPUMHz, r.Components.Latency)
+		}
 		byKey[r.Controller.String()+string(rune('0'+r.CPUMHz/1000))] = r
 	}
 	// The paper's qualitative shape: the coroutine environment spends a

@@ -6,7 +6,6 @@ package hic
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
@@ -124,31 +123,14 @@ func (r *Result) IOPS() float64 {
 // LatencyPercentile returns the p-th percentile completion latency
 // (0 < p ≤ 100), nearest-rank: rank ⌈p/100·n⌉.
 func (r *Result) LatencyPercentile(p float64) sim.Duration {
-	if len(r.latencies) == 0 {
-		return 0
-	}
 	sorted := append([]sim.Duration(nil), r.latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return sim.Percentile(sorted, p)
 }
 
 // MeanLatency reports the average completion latency.
 func (r *Result) MeanLatency() sim.Duration {
-	if len(r.latencies) == 0 {
-		return 0
-	}
-	var sum sim.Duration
-	for _, l := range r.latencies {
-		sum += l
-	}
-	return sum / sim.Duration(len(r.latencies))
+	return sim.Mean(r.latencies)
 }
 
 // Run drives the workload against sub on kernel k and returns the result

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -73,21 +74,29 @@ func (j *JSONLWriter) Flush() error {
 func (j *JSONLWriter) Err() error { return j.err }
 
 // ReadJSONL decodes a JSONL trace back into events — the inverse of
-// JSONLWriter, used for offline replay into a Metrics registry and in
-// round-trip tests. Unknown kinds are an error so schema drift is loud.
+// JSONLWriter, used for offline replay into a Metrics registry, by the
+// babolbench analyze subcommand, and in round-trip tests. Parse errors
+// name the 1-based line they occurred on, so a corrupted or truncated
+// trace points at itself; unknown kinds are an error so schema drift is
+// loud. Blank lines are skipped.
 func ReadJSONL(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var out []Event
-	for {
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
 		var je jsonlEvent
-		if err := dec.Decode(&je); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, fmt.Errorf("obs: decode event %d: %w", len(out), err)
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return out, fmt.Errorf("obs: line %d: %w", line, err)
 		}
 		k, ok := KindFromString(je.Kind)
 		if !ok {
-			return out, fmt.Errorf("obs: event %d: unknown kind %q", len(out), je.Kind)
+			return out, fmt.Errorf("obs: line %d: unknown kind %q", line, je.Kind)
 		}
 		out = append(out, Event{
 			Time: je.Time, Kind: k, Channel: je.Channel,
@@ -96,4 +105,8 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			Cycles: je.Cycles, Bytes: je.Bytes, Err: je.Err, Label: je.Label,
 		})
 	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: line %d: %w", line+1, err)
+	}
+	return out, nil
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -31,13 +32,14 @@ func (h *Histogram) Observe(v int64) {
 	h.Buckets[bucketOf(v)]++
 }
 
+// bucketOf maps a non-negative observation to its log2 bucket. Zero maps
+// to bucket 0 — it must not reach the bit-length path, where a naive
+// "63 - leading zeros" log2 underflows to -1 and indexes out of bounds.
 func bucketOf(v int64) int {
-	b := 0
-	for v > 0 {
-		b++
-		v >>= 1
+	if v <= 0 {
+		return 0
 	}
-	return b
+	return bits.Len64(uint64(v))
 }
 
 // Mean reports the average observation (0 when empty).

@@ -1,0 +1,41 @@
+package obs
+
+import "sync"
+
+// SyncMetrics is a mutex-guarded Metrics registry: a Tracer that may be
+// fed from many goroutines at once and snapshotted concurrently. It is
+// the live-introspection sink behind `babolbench -http` — the parallel
+// sweep runner keeps the *deterministic* trace discipline (per-rig
+// buffers merged in configuration order), but a long sweep watched in
+// flight needs a view that updates while rigs are still running, and
+// every aggregate Metrics computes (counter sums, min/max first/last
+// event, histogram buckets) is order-insensitive, so interleaving
+// events from concurrent rigs changes nothing about the final totals.
+//
+// The plain Metrics stays lock-free for the single-goroutine simulation
+// hot path; wrap it in SyncMetrics only at a concurrency boundary.
+type SyncMetrics struct {
+	mu sync.Mutex
+	m  *Metrics
+}
+
+// NewSyncMetrics returns an empty concurrency-safe registry.
+func NewSyncMetrics() *SyncMetrics {
+	return &SyncMetrics{m: NewMetrics()}
+}
+
+// Event implements Tracer. Safe for concurrent use.
+func (s *SyncMetrics) Event(e Event) {
+	s.mu.Lock()
+	s.m.Event(e)
+	s.mu.Unlock()
+}
+
+// Snapshot returns an atomic deep copy of the aggregated state: no
+// event is half-applied in the copy, even while other goroutines keep
+// feeding events.
+func (s *SyncMetrics) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Snapshot()
+}

@@ -118,6 +118,14 @@ func (r *Recorder) Len() int {
 
 // ChannelSegments returns only the segments that occupied the channel,
 // sorted by start time.
+//
+// Ownership: the returned slice is freshly allocated on every call and
+// is the caller's to keep — a later Reset (which recycles the
+// recorder's backing store for new segments) or further recording never
+// mutates it. Segment values are copies; only the Latches field still
+// aliases the latch slice captured at Record time, which the recorder
+// itself never modifies. Contrast Segments, which returns the live
+// backing store for zero-copy scans.
 func (r *Recorder) ChannelSegments() []Segment {
 	var out []Segment
 	for _, s := range r.Segments() {
