@@ -187,10 +187,15 @@ func (c *Channel) Latch(sel ChipMask, latches []onfi.Latch, opID uint64) (sim.Ti
 	// skip it entirely unless the recorder is live — with recording off,
 	// a latch burst charges pure timing.
 	if c.rec.Enabled() {
+		// Copy the burst for the segment: callers reuse latch storage
+		// across transactions (stack arrays, the controller's latch
+		// arena), so aliasing the parameter would let later bursts
+		// rewrite recorded history. The copy also keeps the parameter
+		// non-escaping, so untraced runs build bursts on the stack.
 		c.rec.Record(wave.Segment{
 			Start: start, End: end, Kind: wave.KindCmdAddr,
 			Chip: firstChip(sel), Label: wave.SummarizeLatches(latches),
-			Latches: latches, OpID: opID,
+			Latches: append([]onfi.Latch(nil), latches...), OpID: opID,
 		})
 		// Record the die-busy window this burst announced — the R/B#
 		// line of the paper's logic-analyzer captures. The segment
@@ -232,29 +237,45 @@ func busyLabel(latches []onfi.Latch) string {
 	}
 }
 
-// DataOut streams n bytes from one chip to the controller. The channel is
-// occupied for the tWHR command-to-data gap, the DQS preamble, the data
-// transfer, and the postamble. Exactly one chip must be selected: ONFI
-// cannot gang data output.
+// DataOut streams n bytes from one chip to the controller into a fresh
+// slice. Hot paths use DataOutInto with a caller-owned destination.
 func (c *Channel) DataOut(sel ChipMask, n int, opID uint64) ([]byte, sim.Time, error) {
-	if err := c.checkMask(sel); err != nil {
-		return nil, 0, err
-	}
-	if sel.Count() != 1 {
-		return nil, 0, fmt.Errorf("bus: data out needs exactly one chip, mask has %d", sel.Count())
-	}
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("bus: data out of %d bytes", n)
 	}
+	data := make([]byte, n)
+	end, err := c.DataOutInto(sel, data, opID)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, end, nil
+}
+
+// DataOutInto streams len(dst) bytes from one chip to the controller
+// directly into dst — the Data Reader µFSM + Packetizer writing the
+// host-side buffer with no intermediate copy. The channel is occupied
+// for the tWHR command-to-data gap, the DQS preamble, the data transfer,
+// and the postamble. Exactly one chip must be selected: ONFI cannot gang
+// data output.
+func (c *Channel) DataOutInto(sel ChipMask, dst []byte, opID uint64) (sim.Time, error) {
+	if err := c.checkMask(sel); err != nil {
+		return 0, err
+	}
+	if sel.Count() != 1 {
+		return 0, fmt.Errorf("bus: data out needs exactly one chip, mask has %d", sel.Count())
+	}
+	n := len(dst)
+	if n <= 0 {
+		return 0, fmt.Errorf("bus: data out of %d bytes", n)
+	}
 	chip := firstChip(sel)
 	if max := c.chips[chip].MaxRateMT(); c.cfg.RateMT > max {
-		return nil, 0, fmt.Errorf("bus: data out at %d MT/s but chip %d's timing mode tops out at %d MT/s (boot flow must switch it via SET FEATURES)", c.cfg.RateMT, chip, max)
+		return 0, fmt.Errorf("bus: data out at %d MT/s but chip %d's timing mode tops out at %d MT/s (boot flow must switch it via SET FEATURES)", c.cfg.RateMT, chip, max)
 	}
 	start, end := c.claim(c.timing.TWHR + c.timing.DataSegment(c.cfg, n))
 	xferStart := start.Add(c.timing.TWHR)
-	data, err := c.chips[chip].DataOut(xferStart, n)
-	if err != nil {
-		return nil, 0, err
+	if err := c.chips[chip].DataOutInto(xferStart, dst); err != nil {
+		return 0, err
 	}
 	c.stats.DataOutBursts++
 	c.stats.BytesOut += uint64(n)
@@ -264,7 +285,7 @@ func (c *Channel) DataOut(sel ChipMask, n int, opID uint64) ([]byte, sim.Time, e
 			Chip: chip, Bytes: n, Label: "data out", OpID: opID,
 		})
 	}
-	return data, end, nil
+	return end, nil
 }
 
 // DataIn streams data from the controller to every selected chip
@@ -325,10 +346,12 @@ func (c *Channel) Pause(d sim.Duration, opID uint64) (sim.Time, error) {
 // one chip and reads the status byte back, occupying the channel for both
 // segments. It returns the status byte and the channel-free time.
 func (c *Channel) Status(chip int, opID uint64) (byte, sim.Time, error) {
-	if _, err := c.Latch(Mask(chip), []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}, opID); err != nil {
+	lbuf := [1]onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}
+	if _, err := c.Latch(Mask(chip), lbuf[:], opID); err != nil {
 		return 0, 0, err
 	}
-	data, end, err := c.DataOut(Mask(chip), 1, opID)
+	var data [1]byte
+	end, err := c.DataOutInto(Mask(chip), data[:], opID)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -101,6 +101,14 @@ type Controller struct {
 
 	scratch *scratchRing
 
+	// freeOps recycles finished opStates (with their Ctx, transaction
+	// box, latch arena, and pre-bound callbacks) so steady-state
+	// operation turnover allocates only the coroutine handshake. A state
+	// is recycled strictly after finishOp: at that point its coroutine
+	// has returned, its last transaction was delivered, and no kernel
+	// callback references it.
+	freeOps []*opState
+
 	// Per-chip operation slots. Each chip runs one operation ("active")
 	// and pre-admits one more ("staged"): the staged operation executes
 	// its software up to its first transaction, whose description waits
@@ -117,6 +125,23 @@ type Controller struct {
 	dispatching bool // a software dispatch chain is in flight
 	hwArmed     bool // the hardware unit is waiting for/running a txn
 	closed      bool // Close ran; pending kernel callbacks are inert
+
+	// Pre-bound method values for the steady-state callback chain
+	// (schedule → switch → submit, arm → execute → complete). Each has
+	// at most one pending instance at a time — dispatching serializes
+	// the software chain and hwArmed the hardware one — so the pending
+	// arguments live in the fields below instead of per-call closures.
+	scheduleFn func()
+	switchFn   func()
+	submitFn   func()
+	execHeadFn func()
+	txnDoneFn  func()
+
+	dispatchSt     *opState         // task picked by the pending schedule pass
+	submitSt       *opState         // owner of the pending submit charge
+	submitTx       *txn.Transaction // transaction of the pending submit charge
+	completedTx    *txn.Transaction // transaction awaiting its completion callback
+	completedRes   txn.Result
 
 	tracer  obs.Tracer
 	stats   Stats
@@ -136,7 +161,7 @@ func New(cfg Config) (*Controller, error) {
 	}
 	exec := ufsm.NewExecutor(cfg.Channel, cfg.DRAM)
 	exec.SetTracer(cfg.Tracer)
-	return &Controller{
+	c := &Controller{
 		k:          cfg.Kernel,
 		ch:         cfg.Channel,
 		mem:        cfg.DRAM,
@@ -149,7 +174,13 @@ func New(cfg Config) (*Controller, error) {
 		chipStaged: make(map[int]*opState),
 		live:       make(map[uint64]*opState),
 		tracer:     cfg.Tracer,
-	}, nil
+	}
+	c.scheduleFn = c.schedulePass
+	c.switchFn = c.switchPass
+	c.submitFn = c.submitPass
+	c.execHeadFn = c.execHead
+	c.txnDoneFn = c.txnDone
+	return c, nil
 }
 
 // Channel returns the controller's channel.
@@ -177,10 +208,29 @@ func (c *Controller) Start(req OpRequest) uint64 {
 	}
 	c.nextOpID++
 	id := c.nextOpID
-	st := &opState{id: id, req: req, ctrl: c, startedAt: c.k.Now()}
+	var st *opState
+	if n := len(c.freeOps); n > 0 {
+		st = c.freeOps[n-1]
+		c.freeOps[n-1] = nil
+		c.freeOps = c.freeOps[:n-1]
+		st.reset(id, req, c.k.Now())
+	} else {
+		st = &opState{id: id, req: req, ctrl: c, startedAt: c.k.Now()}
+		// The callbacks below are bound once per pooled state: they read
+		// the state's current fields, so they stay correct across reuse.
+		st.admitFn = func() { c.admit(st) }
+		st.runFn = func(y *coro.Yielder) error {
+			st.ctx.y = y
+			return st.req.Func(st.ctx)
+		}
+		st.ctx = &Ctx{st: st, ctrl: c}
+		// One completion callback per state: every Submit reuses the
+		// context's transaction box, and with it this Done.
+		st.ctx.txnBox.Done = func(res txn.Result) { c.deliver(st, res) }
+	}
 	c.stats.OpsSubmitted++
 	// Admission is a firmware action: charge it.
-	c.charge(id, c.cpu.Profile().AdmitCycles, "admit", func() { c.admit(st) })
+	c.charge(id, c.cpu.Profile().AdmitCycles, "admit", st.admitFn)
 	return id
 }
 
@@ -287,11 +337,7 @@ func (c *Controller) admitted(st *opState, slot string) {
 }
 
 func (c *Controller) activate(st *opState) {
-	st.ctx = &Ctx{st: st, ctrl: c}
-	st.co = coro.New(func(y *coro.Yielder) error {
-		st.ctx.y = y
-		return st.req.Func(st.ctx)
-	})
+	st.co = coro.New(st.runFn)
 	c.live[st.id] = st
 	c.makeRunnable(st, 0)
 }
@@ -305,34 +351,44 @@ func (c *Controller) makeRunnable(st *opState, extraCycles int64) {
 }
 
 // pump drives the software side: one schedule pass + context switch at a
-// time, serialized on the CPU model.
+// time, serialized on the CPU model. The dispatching flag guarantees at
+// most one schedule/switch pass is pending, so both use the pre-bound
+// callbacks with the picked task parked in dispatchSt.
 func (c *Controller) pump() {
 	if c.closed || c.dispatching || c.taskQ.Len() == 0 {
 		return
 	}
 	c.dispatching = true
-	p := c.cpu.Profile()
-	c.charge(0, p.ScheduleCycles, "schedule", func() {
-		if c.closed {
-			c.dispatching = false
-			return
-		}
-		t := c.taskQ.Pop()
-		if t == nil {
-			c.dispatching = false
-			return
-		}
-		st := t.(*opState)
-		c.charge(st.id, p.SwitchCycles+st.wakeExtra, "switch", func() {
-			if c.closed {
-				c.dispatching = false
-				return
-			}
-			c.resumeOp(st)
-			c.dispatching = false
-			c.pump()
-		})
-	})
+	c.charge(0, c.cpu.Profile().ScheduleCycles, "schedule", c.scheduleFn)
+}
+
+// schedulePass is the deferred body of pump's schedule charge.
+func (c *Controller) schedulePass() {
+	if c.closed {
+		c.dispatching = false
+		return
+	}
+	t := c.taskQ.Pop()
+	if t == nil {
+		c.dispatching = false
+		return
+	}
+	st := t.(*opState)
+	c.dispatchSt = st
+	c.charge(st.id, c.cpu.Profile().SwitchCycles+st.wakeExtra, "switch", c.switchFn)
+}
+
+// switchPass is the deferred body of the context-switch charge.
+func (c *Controller) switchPass() {
+	st := c.dispatchSt
+	c.dispatchSt = nil
+	if c.closed || st == nil {
+		c.dispatching = false
+		return
+	}
+	c.resumeOp(st)
+	c.dispatching = false
+	c.pump()
 }
 
 // resumeOp hands control to the operation coroutine until its next yield
@@ -373,35 +429,61 @@ func (c *Controller) resumeOp(st *opState) {
 				})
 			}
 		}
-		c.charge(st.id, cycles, label, func() {
-			if c.closed {
-				return
-			}
-			c.nextTxnID++
-			tx.ID = c.nextTxnID
-			if st.staged && !st.submittedAny {
-				// The chip is still owned by its active operation: the
-				// description waits on the hardware chip-busy gate.
-				st.heldTxn = tx
-				return
-			}
-			st.submittedAny = true
-			c.pushTxn(tx)
-			c.armHW()
-		})
+		if c.submitTx == nil {
+			c.submitSt, c.submitTx = st, tx
+			c.charge(st.id, cycles, label, c.submitFn)
+		} else {
+			// Defensive fallback: dispatch serialization should make a
+			// second pending submit impossible, but if it ever happens,
+			// a fresh closure keeps both charges intact.
+			c.charge(st.id, cycles, label, func() { c.submitBody(st, tx) })
+		}
 	case pendSleep:
 		d := st.ctx.sleepFor
 		st.ctx.sleepFor = 0
-		c.k.After(d, func() {
-			if c.closed {
-				return
+		if st.wakeFn == nil {
+			st.wakeFn = func() {
+				if c.closed {
+					return
+				}
+				c.makeRunnable(st, 0)
 			}
-			c.makeRunnable(st, 0)
-		})
+		}
+		c.k.After(d, st.wakeFn)
 	default:
 		// A yield with no request is a cooperative reschedule.
 		c.makeRunnable(st, 0)
 	}
+}
+
+// submitPass is the deferred body of the submit charge, reading its
+// arguments from the pending-submit fields.
+func (c *Controller) submitPass() {
+	st, tx := c.submitSt, c.submitTx
+	c.submitSt, c.submitTx = nil, nil
+	if st == nil {
+		return
+	}
+	c.submitBody(st, tx)
+}
+
+// submitBody moves a built transaction into the hardware-visible queue
+// (or holds it behind the chip-busy gate for a staged operation).
+func (c *Controller) submitBody(st *opState, tx *txn.Transaction) {
+	if c.closed {
+		return
+	}
+	c.nextTxnID++
+	tx.ID = c.nextTxnID
+	if st.staged && !st.submittedAny {
+		// The chip is still owned by its active operation: the
+		// description waits on the hardware chip-busy gate.
+		st.heldTxn = tx
+		return
+	}
+	st.submittedAny = true
+	c.pushTxn(tx)
+	c.armHW()
 }
 
 // finishOp releases the operation's chips, promotes staged operations
@@ -456,9 +538,13 @@ func (c *Controller) finishOp(st *opState, err error) {
 	c.admitQ = nil
 	p := c.cpu.Profile()
 	for _, w := range parked {
-		w := w
-		c.charge(w.id, p.AdmitCycles, "admit", func() { c.admit(w) })
+		c.charge(w.id, p.AdmitCycles, "admit", w.admitFn)
 	}
+	// Drop the request's closures (Func/Done) and the finished coroutine,
+	// then return the state to the pool for the next Start.
+	st.req = OpRequest{}
+	st.co = nil
+	c.freeOps = append(c.freeOps, st)
 }
 
 // pushTxn moves a transaction into the hardware-visible queue,
@@ -486,7 +572,7 @@ func (c *Controller) armHW() {
 		c.execHead()
 		return
 	}
-	c.k.At(c.ch.FreeAt(), func() { c.execHead() })
+	c.k.At(c.ch.FreeAt(), c.execHeadFn)
 }
 
 func (c *Controller) execHead() {
@@ -525,22 +611,30 @@ func (c *Controller) execHead() {
 	if end < c.k.Now() {
 		end = c.k.Now()
 	}
-	c.k.At(end, func() {
-		if c.closed {
-			return
-		}
-		c.hwArmed = false
-		if tx.Final {
-			// The descriptor's "last" bit opens the chip gate in
-			// hardware: a staged successor's held first transaction
-			// enters the queue before the next pop.
-			c.openGate(tx.Chip)
-		}
-		c.armHW()
-		if tx.Done != nil {
-			tx.Done(res)
-		}
-	})
+	// hwArmed stays set until txnDone runs, so at most one completion is
+	// pending and its arguments can ride in the completed* fields.
+	c.completedTx, c.completedRes = tx, res
+	c.k.At(end, c.txnDoneFn)
+}
+
+// txnDone is the completion callback of an executed transaction.
+func (c *Controller) txnDone() {
+	tx, res := c.completedTx, c.completedRes
+	c.completedTx, c.completedRes = nil, txn.Result{}
+	if c.closed || tx == nil {
+		return
+	}
+	c.hwArmed = false
+	if tx.Final {
+		// The descriptor's "last" bit opens the chip gate in
+		// hardware: a staged successor's held first transaction
+		// enters the queue before the next pop.
+		c.openGate(tx.Chip)
+	}
+	c.armHW()
+	if tx.Done != nil {
+		tx.Done(res)
+	}
 }
 
 // openGate releases a staged operation's held first transaction for a

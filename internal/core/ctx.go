@@ -18,6 +18,14 @@ type opState struct {
 	ctrl *Controller
 	co   *coro.Coroutine
 	ctx  *Ctx
+	// admitFn/wakeFn/runFn are this state's admission, sleep-wake, and
+	// coroutine-body callbacks, created at most once per pooled state so
+	// repeated admission passes, sleeps, and reuses charge no fresh
+	// closures. Each reads the state's current fields, which keeps it
+	// valid when the controller recycles the state for a later operation.
+	admitFn func()
+	wakeFn  func()
+	runFn   func(*coro.Yielder) error
 	// wakeExtra is charged on top of the context switch at the next
 	// resume (e.g. poll-result decode after a completed transaction).
 	wakeExtra int64
@@ -30,17 +38,43 @@ type opState struct {
 	heldTxn      *txn.Transaction
 	// startedAt stamps Start() for latency accounting.
 	startedAt sim.Time
+	// chipsCache memoizes chips(); chipArr backs it for the common
+	// single-chip case so the cache costs no allocation.
+	chipsCache []int
+	chipArr    [1]int
 }
 
 func (s *opState) TaskID() uint64    { return s.id }
 func (s *opState) TaskChip() int     { return s.req.Chip }
 func (s *opState) TaskPriority() int { return s.req.Priority }
 
+// reset re-arms a recycled state for a fresh operation. The pre-bound
+// callbacks (admitFn, wakeFn, runFn, txnBox.Done) are kept: they read
+// the fields assigned here.
+func (s *opState) reset(id uint64, req OpRequest, now sim.Time) {
+	s.id = id
+	s.req = req
+	s.startedAt = now
+	s.co = nil
+	s.wakeExtra = 0
+	s.staged = false
+	s.submittedAny = false
+	s.heldTxn = nil
+	s.chipsCache = nil
+	s.ctx.reset()
+}
+
 // chips lists every chip the operation needs admitted.
 func (s *opState) chips() []int {
-	out := []int{s.req.Chip}
-	out = append(out, s.req.ExtraChips...)
-	return out
+	if s.chipsCache == nil {
+		if len(s.req.ExtraChips) == 0 {
+			s.chipArr[0] = s.req.Chip
+			s.chipsCache = s.chipArr[:]
+		} else {
+			s.chipsCache = append([]int{s.req.Chip}, s.req.ExtraChips...)
+		}
+	}
+	return s.chipsCache
 }
 
 // pendingKind is the reason an operation yielded.
@@ -63,6 +97,18 @@ type Ctx struct {
 	instrs   []txn.Instr
 	selected bool
 
+	// Transaction-building storage, recycled submit-to-submit: txnBox is
+	// the one Transaction value every Submit of this operation reuses,
+	// latchArena backs the latch bursts the accumulated instructions
+	// point into, and capBuf receives captured bytes. All three are safe
+	// to recycle because a submitted transaction is fully consumed
+	// (executed and delivered) before the operation resumes to build the
+	// next one; Result.Captured is likewise only valid until the next
+	// Submit.
+	txnBox     txn.Transaction
+	latchArena []onfi.Latch
+	capBuf     []byte
+
 	pending    pendingKind
 	pendingTxn *txn.Transaction
 	sleepFor   sim.Duration
@@ -77,6 +123,24 @@ type Ctx struct {
 	lastWasCapture bool
 	lastCaptureCmd int
 	pollResubmit   bool
+}
+
+// reset clears per-operation context state while keeping the recycled
+// storage (instruction slice, latch arena, capture buffer) and the
+// bound transaction-completion callback.
+func (x *Ctx) reset() {
+	x.y = nil
+	x.instrs = x.instrs[:0]
+	x.selected = false
+	x.latchArena = x.latchArena[:0]
+	x.capBuf = x.capBuf[:0]
+	x.pending = pendNone
+	x.pendingTxn = nil
+	x.sleepFor = 0
+	x.result = txn.Result{}
+	x.lastWasCapture = false
+	x.lastCaptureCmd = 0
+	x.pollResubmit = false
 }
 
 // OpID returns the operation's controller-assigned ID.
@@ -99,7 +163,7 @@ func (x *Ctx) Geometry() onfi.Geometry { return x.Params().Geometry }
 // Chip emits a C/E Control instruction selecting the given chips for the
 // instructions that follow within the current transaction.
 func (x *Ctx) Chip(mask bus.ChipMask) {
-	x.instrs = append(x.instrs, txn.ChipControl{Mask: mask})
+	x.instrs = append(x.instrs, txn.ChipControl(mask))
 	x.selected = true
 }
 
@@ -112,9 +176,14 @@ func (x *Ctx) selectDefault() {
 }
 
 // CmdAddr emits a Command/Address Writer instruction: one latch burst.
+// The burst is copied into the context's latch arena, so callers may
+// build it in stack storage.
 func (x *Ctx) CmdAddr(latches ...onfi.Latch) {
 	x.selectDefault()
-	x.instrs = append(x.instrs, txn.CmdAddr{Latches: latches})
+	base := len(x.latchArena)
+	x.latchArena = append(x.latchArena, latches...)
+	burst := x.latchArena[base:len(x.latchArena):len(x.latchArena)]
+	x.instrs = append(x.instrs, txn.CmdAddr(burst))
 }
 
 // Cmd is shorthand for a single command latch.
@@ -124,27 +193,27 @@ func (x *Ctx) Cmd(c onfi.Cmd) { x.CmdAddr(onfi.CmdLatch(c)) }
 // DRAM address addr into the selected chips' page registers.
 func (x *Ctx) WriteData(addr, n int) {
 	x.selectDefault()
-	x.instrs = append(x.instrs, txn.DataWrite{Addr: addr, N: n})
+	x.instrs = append(x.instrs, txn.DataWrite(addr, n))
 }
 
 // ReadData emits a Data Reader + Packetizer instruction: n bytes from the
 // selected chip into DRAM at addr.
 func (x *Ctx) ReadData(addr, n int) {
 	x.selectDefault()
-	x.instrs = append(x.instrs, txn.DataRead{Addr: addr, N: n})
+	x.instrs = append(x.instrs, txn.DataRead(addr, n, false))
 }
 
 // ReadCapture emits a Data Reader instruction whose bytes are returned in
 // the submit result instead of DMA-ed to DRAM (status/ID/feature reads).
 func (x *Ctx) ReadCapture(n int) {
 	x.selectDefault()
-	x.instrs = append(x.instrs, txn.DataRead{Addr: -1, N: n, Capture: true})
+	x.instrs = append(x.instrs, txn.DataRead(-1, n, true))
 }
 
 // Wait emits a Timer instruction holding the channel for d (tADL-style
 // inter-segment delays that must keep the bus quiet).
 func (x *Ctx) Wait(d sim.Duration) {
-	x.instrs = append(x.instrs, txn.TimerWait{D: d})
+	x.instrs = append(x.instrs, txn.TimerWait(d))
 }
 
 // Submit bundles the accumulated instructions into a transaction,
@@ -164,7 +233,7 @@ func (x *Ctx) submit(final bool) txn.Result {
 	}
 	capture := false
 	for _, in := range x.instrs {
-		if dr, ok := in.(txn.DataRead); ok && dr.Capture {
+		if in.Kind == txn.KindDataRead && in.Capture {
 			capture = true
 			break
 		}
@@ -173,21 +242,32 @@ func (x *Ctx) submit(final bool) txn.Result {
 	x.pollResubmit = capture && x.lastWasCapture && cmd >= 0 && cmd == x.lastCaptureCmd
 	x.lastWasCapture = capture
 	x.lastCaptureCmd = cmd
-	tx := &txn.Transaction{
-		OpID:     x.st.id,
-		Chip:     x.st.req.Chip,
-		Priority: x.st.req.Priority,
-		Final:    final,
-		Instrs:   x.instrs,
-	}
-	st := x.st
-	tx.Done = func(res txn.Result) { x.ctrl.deliver(st, res) }
-	x.instrs = nil
+	// Reuse the context's transaction box: the previous submit's
+	// transaction was executed and delivered before the operation
+	// resumed, so nothing references it anymore. Done was bound once at
+	// activation.
+	tx := &x.txnBox
+	tx.ID = 0
+	tx.OpID = x.st.id
+	tx.Chip = x.st.req.Chip
+	tx.Priority = x.st.req.Priority
+	tx.Final = final
+	tx.Instrs = x.instrs
+	tx.CapBuf = x.capBuf
 	x.selected = false
 	x.pending = pendSubmit
 	x.pendingTxn = tx
 	x.y.Yield()
 	x.pending = pendNone
+	// The executor may have grown the capture buffer past our backing
+	// store; adopt the larger one for the next submit.
+	if cap(x.result.Captured) > cap(x.capBuf) {
+		x.capBuf = x.result.Captured[:0]
+	}
+	// The executed transaction no longer references the instruction
+	// slice or latch arena; recycle both for the next build.
+	x.instrs = x.instrs[:0]
+	x.latchArena = x.latchArena[:0]
 	return x.result
 }
 
@@ -195,12 +275,11 @@ func (x *Ctx) submit(final bool) txn.Result {
 // instructions, or -1 if it has none — the signature used to tell one
 // polling loop's status reads apart from an unrelated capture phase.
 func leadingCmd(instrs []txn.Instr) int {
-	for _, in := range instrs {
-		ca, ok := in.(txn.CmdAddr)
-		if !ok {
+	for i := range instrs {
+		if instrs[i].Kind != txn.KindCmdAddr {
 			continue
 		}
-		for _, l := range ca.Latches {
+		for _, l := range instrs[i].Latches {
 			if l.Kind == onfi.LatchCmd {
 				return int(l.Value)
 			}

@@ -158,6 +158,41 @@ func TestNestedCalls(t *testing.T) {
 	}
 }
 
+// BenchmarkCoroResume quantifies the goroutine-handshake cost of one
+// Resume/Yield round trip — the per-suspension overhead every simulated
+// operation pays (two channel operations and two goroutine switches).
+// Run with -benchmem: the round trip itself allocates nothing; what
+// remains on the per-operation budget is New (BenchmarkCoroNew below),
+// the follow-up perf target recorded in EXPERIMENTS.md.
+func BenchmarkCoroResume(b *testing.B) {
+	c := New(func(y *Yielder) error {
+		for {
+			y.Yield()
+		}
+	})
+	c.Resume() // run to the first yield outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Resume()
+	}
+	b.StopTimer()
+	c.Abort()
+}
+
+// BenchmarkCoroNew measures creating and completing one coroutine: the
+// dominant remaining per-operation allocation after the pooled data
+// path (channels, handle, goroutine bookkeeping).
+func BenchmarkCoroNew(b *testing.B) {
+	fn := func(y *Yielder) error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(fn)
+		c.Resume()
+	}
+}
+
 func BenchmarkResumeYield(b *testing.B) {
 	c := New(func(y *Yielder) error {
 		for {

@@ -1,0 +1,38 @@
+package dram
+
+import "testing"
+
+// TestAllocGateDRAMRoundTrip is the allocation-regression gate for the
+// staging buffer: Write, ReadInto a caller buffer, and a borrowed View
+// must all be allocation-free. The zero-copy data path depends on it —
+// every simulated page crosses this buffer twice.
+func TestAllocGateDRAMRoundTrip(t *testing.T) {
+	b := New(1 << 16)
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	dst := make([]byte, 4096)
+	cycle := func() {
+		if err := b.Write(128, page); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ReadInto(dst, 128); err != nil {
+			t.Fatal(err)
+		}
+		w, err := b.View(128, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w[0] != page[0] {
+			t.Fatal("view mismatch")
+		}
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(100, cycle); avg > 0 {
+		t.Errorf("DRAM round-trip allocated %.1f objects, want 0", avg)
+	}
+	if dst[4095] != page[4095] {
+		t.Error("round-trip data mismatch")
+	}
+}

@@ -35,7 +35,8 @@ func (b *Buffer) Window(addr, n int) ([]byte, error) {
 	return b.mem[addr : addr+n], nil
 }
 
-// Read copies n bytes at addr into a fresh slice.
+// Read copies n bytes at addr into a fresh slice. Hot paths use ReadInto
+// or View instead.
 func (b *Buffer) Read(addr, n int) ([]byte, error) {
 	w, err := b.Window(addr, n)
 	if err != nil {
@@ -44,6 +45,27 @@ func (b *Buffer) Read(addr, n int) ([]byte, error) {
 	out := make([]byte, n)
 	copy(out, w)
 	return out, nil
+}
+
+// ReadInto copies len(dst) bytes at addr into dst — the destination-
+// passing sibling of Read for callers that own a buffer.
+func (b *Buffer) ReadInto(dst []byte, addr int) error {
+	w, err := b.Window(addr, len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, w)
+	return nil
+}
+
+// View returns a borrowed read-only view of [addr, addr+n). Unlike Read
+// it never copies; unlike Window the caller promises not to write
+// through it. The view stays coherent with the buffer: it is only valid
+// until the next DMA or host write that overlaps the range (in virtual
+// time: until the channel's next granted transaction may touch it), so
+// consume or copy it before yielding the CPU.
+func (b *Buffer) View(addr, n int) ([]byte, error) {
+	return b.Window(addr, n)
 }
 
 // Write copies data into the buffer at addr.

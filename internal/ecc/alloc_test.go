@@ -1,0 +1,50 @@
+package ecc
+
+import "testing"
+
+// TestAllocGateCodecPage is the allocation-regression gate for whole-
+// page ECC: a warmed Codec must encode and decode a 16 KB page with
+// zero allocations — the codec's point is hoisting the per-codeword
+// temporaries into reusable scratch.
+func TestAllocGateCodecPage(t *testing.T) {
+	page := make([]byte, 16384)
+	for i := range page {
+		page[i] = byte(i * 31)
+	}
+	parity := make([]byte, PageParityBytes(len(page)))
+	var c Codec
+	cycle := func() {
+		if err := c.EncodePageInto(parity, page); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.DecodePage(page, parity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(20, cycle); avg > 0 {
+		t.Errorf("codec page encode+decode allocated %.1f objects, want 0", avg)
+	}
+}
+
+// BenchmarkCodecPage measures steady-state whole-page ECC throughput.
+// Run with -benchmem: the target is 0 allocs/op.
+func BenchmarkCodecPage(b *testing.B) {
+	page := make([]byte, 16384)
+	for i := range page {
+		page[i] = byte(i * 31)
+	}
+	parity := make([]byte, PageParityBytes(len(page)))
+	var c Codec
+	b.ReportAllocs()
+	b.SetBytes(int64(len(page)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodePageInto(parity, page); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.DecodePage(page, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -101,33 +101,48 @@ func PageParityBytes(n int) int {
 	return cws * ParityBytes
 }
 
-// EncodePage computes parity for every codeword of a page. The final
-// partial codeword, if any, is padded with zeros. The returned slice has
-// PageParityBytes(len(page)) bytes.
-func EncodePage(page []byte) []byte {
+// Codec is an ECC engine instance with reusable scratch: the padded
+// trailing-codeword buffer lives on the codec instead of being
+// re-materialized per call, so steady-state encode/decode of whole
+// pages allocates nothing. A Codec is not safe for concurrent use;
+// each datapath (one FTL, one test) owns its own.
+type Codec struct {
+	cw [CodewordBytes]byte
+}
+
+// EncodePageInto computes parity for every codeword of page directly
+// into dst, which must be exactly PageParityBytes(len(page)) long —
+// typically a borrowed window of the DRAM parity region, making the
+// encode a single pass with no intermediate parity slice. The final
+// partial codeword, if any, is padded with zeros.
+func (c *Codec) EncodePageInto(dst, page []byte) error {
 	cws := (len(page) + CodewordBytes - 1) / CodewordBytes
-	out := make([]byte, 0, cws*ParityBytes)
-	var buf [CodewordBytes]byte
-	for i := 0; i < cws; i++ {
-		cw := codeword(page, i, buf[:])
-		p, _ := Encode(cw)
-		out = append(out, p[:]...)
+	if len(dst) != cws*ParityBytes {
+		return fmt.Errorf("ecc: parity destination of %d bytes, need %d", len(dst), cws*ParityBytes)
 	}
-	return out
+	for i := 0; i < cws; i++ {
+		cw := codeword(page, i, c.cw[:])
+		p, err := Encode(cw)
+		if err != nil {
+			return err
+		}
+		dst[i*ParityBytes] = p[0]
+		dst[i*ParityBytes+1] = p[1]
+	}
+	return nil
 }
 
 // DecodePage verifies and corrects a page in place against parity
 // produced by EncodePage. It returns the total corrected bits;
 // ErrUncorrectable if any codeword has ≥2 errors.
-func DecodePage(page, parity []byte) (int, error) {
+func (c *Codec) DecodePage(page, parity []byte) (int, error) {
 	cws := (len(page) + CodewordBytes - 1) / CodewordBytes
 	if len(parity) < cws*ParityBytes {
 		return 0, fmt.Errorf("ecc: parity too short: %d bytes for %d codewords", len(parity), cws)
 	}
 	corrected := 0
-	var buf [CodewordBytes]byte
 	for i := 0; i < cws; i++ {
-		cw := codeword(page, i, buf[:])
+		cw := codeword(page, i, c.cw[:])
 		var p [ParityBytes]byte
 		copy(p[:], parity[i*ParityBytes:])
 		n, err := Decode(cw, p)
@@ -142,6 +157,26 @@ func DecodePage(page, parity []byte) (int, error) {
 		}
 	}
 	return corrected, nil
+}
+
+// EncodePage computes parity for every codeword of a page into a fresh
+// slice of PageParityBytes(len(page)) bytes. Steady-state paths use
+// Codec.EncodePageInto with a reused or borrowed destination.
+func EncodePage(page []byte) []byte {
+	var c Codec
+	out := make([]byte, PageParityBytes(len(page)))
+	if err := c.EncodePageInto(out, page); err != nil {
+		// Unreachable: the destination is sized above.
+		panic(err)
+	}
+	return out
+}
+
+// DecodePage verifies and corrects a page in place with a throwaway
+// codec. See Codec.DecodePage.
+func DecodePage(page, parity []byte) (int, error) {
+	var c Codec
+	return c.DecodePage(page, parity)
 }
 
 // codeword extracts codeword i of page, zero-padding a trailing partial

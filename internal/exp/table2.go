@@ -47,7 +47,7 @@ func Table2() ([]Table2Row, error) {
 	}
 	share := shared / 3
 
-	babolRead, err := opsFile.FuncsLines("ReadPage", "pollReady", "ReadStatus", "readLatches", "changeColumnLatches")
+	babolRead, err := opsFile.FuncsLines("ReadPage", "pollReady", "ReadStatus", "appendReadLatches", "appendChangeColumnLatches")
 	if err != nil {
 		return nil, err
 	}

@@ -140,7 +140,9 @@ func Run(k *sim.Kernel, sub Submitter, w Workload) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Start: k.Now()}
+	// The latency log's final size is known up front; growing it by
+	// appends would reallocate log(NumOps) times mid-run.
+	res := &Result{Start: k.Now(), latencies: make([]sim.Duration, 0, w.NumOps)}
 	rng := rand.New(rand.NewSource(w.Seed))
 	next := 0
 	issued := 0
@@ -164,33 +166,49 @@ func Run(k *sim.Kernel, sub Submitter, w Workload) (*Result, error) {
 		return KindWrite
 	}
 
-	var issue func()
-	issue = func() {
-		if issued >= w.NumOps {
-			return
-		}
-		issued++
-		submitted := k.Now()
-		sub.Submit(Command{
-			Kind: nextKind(),
-			LPN:  nextLPN(),
-			Done: func(err error) {
-				res.Completed++
-				if err != nil {
-					res.Failed++
-				}
-				res.latencies = append(res.latencies, k.Now().Sub(submitted))
-				res.End = k.Now()
-				issue() // keep the queue full
-			},
-		})
-	}
 	depth := w.QueueDepth
 	if depth > w.NumOps {
 		depth = w.NumOps
 	}
-	for i := 0; i < depth; i++ {
-		issue()
+	// Each queue-depth slot owns at most one in-flight command; its issue
+	// and completion callbacks are created once here and reused for every
+	// command the slot carries, so steady-state issuance allocates
+	// nothing per command.
+	slots := make([]runSlot, depth)
+	for i := range slots {
+		sl := &slots[i]
+		sl.issue = func() {
+			if issued >= w.NumOps {
+				return
+			}
+			issued++
+			sl.submitted = k.Now()
+			sub.Submit(Command{
+				Kind: nextKind(),
+				LPN:  nextLPN(),
+				Done: sl.done,
+			})
+		}
+		sl.done = func(err error) {
+			res.Completed++
+			if err != nil {
+				res.Failed++
+			}
+			res.latencies = append(res.latencies, k.Now().Sub(sl.submitted))
+			res.End = k.Now()
+			sl.issue() // keep the queue full
+		}
+	}
+	for i := range slots {
+		slots[i].issue()
 	}
 	return res, nil
+}
+
+// runSlot is one queue-depth slot of a Run: the submission timestamp of
+// its in-flight command plus its reusable issue/completion callbacks.
+type runSlot struct {
+	submitted sim.Time
+	issue     func()
+	done      func(error)
 }

@@ -52,6 +52,10 @@ type opFSM struct {
 	wantsBus bool
 	queue    []Request
 	cur      Request
+	// scratch receives read-out data for requests with no DRAM
+	// destination, reused across requests so discarded reads don't
+	// allocate.
+	scratch []byte
 }
 
 // loadNext pops the FIFO head into the execution register and enters the
@@ -123,9 +127,9 @@ func (f *opFSM) busStep() (sim.Time, error) {
 
 	switch f.state {
 	case stReadIssue:
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdRead1))
-		latches = append(latches, g.AddrLatches(onfi.Addr{Row: f.cur.Addr.Row})...)
+		var lbuf [8]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdRead1))
+		latches = g.AppendAddrLatches(latches, onfi.Addr{Row: f.cur.Addr.Row})
 		latches = append(latches, onfi.CmdLatch(onfi.CmdRead2))
 		end, err := ch.Latch(sel, latches, 0)
 		if err != nil {
@@ -145,22 +149,32 @@ func (f *opFSM) busStep() (sim.Time, error) {
 			return 0, fmt.Errorf("hwctrl: READ FAIL on LUN %d at %+v", f.lun, f.cur.Addr.Row)
 		}
 		cb := onfi.EncodeColAddr(f.cur.Addr.Col)
-		_, err = ch.Latch(sel, []onfi.Latch{
+		lbuf := [4]onfi.Latch{
 			onfi.CmdLatch(onfi.CmdChangeReadCol1),
 			onfi.AddrLatch(cb[0]), onfi.AddrLatch(cb[1]),
 			onfi.CmdLatch(onfi.CmdChangeReadCol2),
-		}, 0)
+		}
+		_, err = ch.Latch(sel, lbuf[:], 0)
 		if err != nil {
 			return 0, err
 		}
-		data, end, err := ch.DataOut(sel, f.cur.N, 0)
-		if err != nil {
-			return 0, err
-		}
+		// Stream straight into the DRAM window (or a reused scratch sink
+		// for destination-less reads) — no intermediate per-read buffer.
+		var dst []byte
 		if f.cur.DRAMAddr >= 0 {
-			if err := f.ctrl.mem.Write(f.cur.DRAMAddr, data); err != nil {
+			dst, err = f.ctrl.mem.Window(f.cur.DRAMAddr, f.cur.N)
+			if err != nil {
 				return 0, err
 			}
+		} else {
+			if cap(f.scratch) < f.cur.N {
+				f.scratch = make([]byte, f.cur.N)
+			}
+			dst = f.scratch[:f.cur.N]
+		}
+		end, err := ch.DataOutInto(sel, dst, 0)
+		if err != nil {
+			return 0, err
 		}
 		f.ctrl.k.At(end, f.complete)
 		return end, nil
@@ -170,16 +184,17 @@ func (f *opFSM) busStep() (sim.Time, error) {
 		if err != nil {
 			return 0, err
 		}
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
-		latches = append(latches, g.AddrLatches(f.cur.Addr)...)
+		var lbuf [8]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdProgram1))
+		latches = g.AppendAddrLatches(latches, f.cur.Addr)
 		if _, err := ch.Latch(sel, latches, 0); err != nil {
 			return 0, err
 		}
 		if _, err := ch.DataIn(sel, window, 0); err != nil {
 			return 0, err
 		}
-		end, err := ch.Latch(sel, []onfi.Latch{onfi.CmdLatch(onfi.CmdProgram2)}, 0)
+		confirm := [1]onfi.Latch{onfi.CmdLatch(onfi.CmdProgram2)}
+		end, err := ch.Latch(sel, confirm[:], 0)
 		if err != nil {
 			return 0, err
 		}
@@ -198,9 +213,9 @@ func (f *opFSM) busStep() (sim.Time, error) {
 		return end, nil
 
 	case stEraseIssue:
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
-		latches = append(latches, g.RowLatches(f.cur.Addr.Row)...)
+		var lbuf [5]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdErase1))
+		latches = g.AppendRowLatches(latches, f.cur.Addr.Row)
 		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
 		end, err := ch.Latch(sel, latches, 0)
 		if err != nil {

@@ -1,0 +1,58 @@
+package nand
+
+import (
+	"testing"
+
+	"repro/internal/onfi"
+	"repro/internal/sim"
+)
+
+// TestAllocGateLUNReadOut is the allocation-regression gate for the
+// cell-array read-out path: once warmed, a full READ cycle — latch
+// burst, tR wait, DataOutInto a caller buffer — must not allocate.
+// The page-register arena and destination-passing read-out are what
+// keep this at zero; a regression here silently reintroduces a
+// per-page allocation on the hottest simulated path.
+func TestAllocGateLUNReadOut(t *testing.T) {
+	l := newTestLUN(t)
+	g := l.Params().Geometry
+	addr := onfi.Addr{Row: onfi.RowAddr{Block: 1, Page: 2}}
+	seed := make([]byte, g.PageBytes)
+	fillSeed(seed)
+	if err := l.SeedPage(addr.Row, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	var lbuf [8]onfi.Latch
+	latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdRead1))
+	latches = g.AppendAddrLatches(latches, addr)
+	latches = append(latches, onfi.CmdLatch(onfi.CmdRead2))
+	dst := make([]byte, g.PageBytes)
+	now := sim.Time(0)
+
+	cycle := func() {
+		if err := l.Latch(now, latches); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(l.Params().TR)
+		if err := l.DataOutInto(now, dst); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(sim.Microsecond)
+	}
+	cycle() // warm register/arena state
+	if avg := testing.AllocsPerRun(50, cycle); avg > 0 {
+		t.Errorf("warmed LUN read-out allocated %.1f objects per page, want 0", avg)
+	}
+	if dst[0] != seed[0] || dst[len(dst)-1] != seed[len(seed)-1] {
+		t.Error("read-out data mismatch")
+	}
+}
+
+// fillSeed writes a distinctive non-zero pattern for seeding pages in
+// allocation-gate tests.
+func fillSeed(dst []byte) {
+	for i := range dst {
+		dst[i] = byte(i*7 + 3)
+	}
+}

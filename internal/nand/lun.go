@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/onfi"
+	"repro/internal/pagebuf"
 	"repro/internal/sim"
 )
 
@@ -120,8 +121,12 @@ type LUN struct {
 	params Params
 	geo    onfi.Geometry
 
-	// Array contents: row index → page data (nil entry = erased).
-	pages map[uint32][]byte
+	// Array contents: row index → page data (no entry = erased). Pages
+	// are pooled buffers borrowed from pool; an erase releases them.
+	pages map[uint32]*pagebuf.Buf
+	// pool supplies full-page buffers for programmed pages, shared
+	// process-wide by geometry.
+	pool *pagebuf.Pool
 	// Per-block erase counts and bad-block marks.
 	eraseCount []int
 	bad        []bool
@@ -150,9 +155,12 @@ type LUN struct {
 	curRow         uint32
 
 	// Pending-load bookkeeping: a read in flight deposits loadData into
-	// pageReg when the array busy expires.
+	// pageReg when the array busy expires. loadData points at loadBuf
+	// for plain reads (one buffer reused for the LUN's lifetime) or at a
+	// plane buffer for multi-plane reads.
 	loadPending bool
 	loadData    []byte
+	loadBuf     []byte
 
 	// Cache-read sequencing.
 	cacheRow     uint32
@@ -202,12 +210,14 @@ func NewLUN(p Params) (*LUN, error) {
 	l := &LUN{
 		params:       p,
 		geo:          g,
-		pages:        make(map[uint32][]byte),
+		pages:        make(map[uint32]*pagebuf.Buf),
+		pool:         pagebuf.For(g.FullPageBytes()),
 		programmed:   make(map[uint32]bool),
 		eraseCount:   make([]int, g.BlocksPerLUN),
 		bad:          make([]bool, g.BlocksPerLUN),
 		pageReg:      make([]byte, g.FullPageBytes()),
 		cacheReg:     make([]byte, g.FullPageBytes()),
+		loadBuf:      make([]byte, g.FullPageBytes()),
 		features:     make(map[onfi.FeatureAddr][4]byte),
 		paramPage:    buildParameterPage(p),
 		phaseOptimal: p.PhaseOptimal,
@@ -215,14 +225,24 @@ func NewLUN(p Params) (*LUN, error) {
 	if l.phaseOptimal == 0 {
 		l.phaseOptimal = defaultPhase
 	}
+	l.powerOnFeatures()
+	return l, nil
+}
+
+// powerOnFeatures loads the volatile feature registers with their
+// power-on defaults. RESET returns the target to this state (ONFI: SET
+// FEATURES settings are volatile and revert on reset).
+func (l *LUN) powerOnFeatures() {
+	for k := range l.features {
+		delete(l.features, k)
+	}
 	// The phase trim register powers on at its default.
 	l.features[onfi.FeatOutputPhase] = [4]byte{defaultPhase}
 	// Timing mode register: ONFI mode 5 (NVDDR2) unless the instance
 	// powers up in SDR and must be switched by the boot flow.
-	if !p.BootInSDR {
+	if !l.params.BootInSDR {
 		l.features[onfi.FeatTimingMode] = [4]byte{nvddr2Mode}
 	}
-	return l, nil
 }
 
 // Params returns the LUN's parameter set.
@@ -586,7 +606,8 @@ func (l *LUN) startRead(now sim.Time, cache bool) error {
 	l.curRow = row
 	l.cacheRow = row
 	l.loadPending = true
-	l.loadData = l.readArray(row)
+	l.readArrayInto(row, l.loadBuf)
+	l.loadData = l.loadBuf
 	l.arrayBusyUntil = now.Add(tr)
 	if cache {
 		// Cache confirm: page goes to cache register when loaded, and
@@ -621,7 +642,8 @@ func (l *LUN) startCacheNext(now sim.Time) error {
 	l.curOp = arrRead
 	l.curRow = next
 	l.loadPending = true
-	l.loadData = l.readArray(next)
+	l.readArrayInto(next, l.loadBuf)
+	l.loadData = l.loadBuf
 	l.arrayBusyUntil = now.Add(l.jitterFor(next, l.params.TR))
 	l.setDataOut(outCache)
 	l.column = 0
@@ -664,10 +686,7 @@ func (l *LUN) startProgram(now sim.Time, cached bool) error {
 		// NAND forbids re-programming without an erase.
 		l.failLast = true
 	default:
-		data := make([]byte, l.geo.FullPageBytes())
-		copy(data, l.pageReg)
-		l.pages[row] = data
-		l.programmed[row] = true
+		l.storePage(row, l.pageReg)
 	}
 	l.curOp = arrProgram
 	l.curRow = row
@@ -707,7 +726,7 @@ func (l *LUN) startErase(now sim.Time) error {
 			} else {
 				base := uint32(block) * uint32(l.geo.PagesPerBlk)
 				for p := uint32(0); p < uint32(l.geo.PagesPerBlk); p++ {
-					delete(l.pages, base+p)
+					l.dropPage(base + p)
 					delete(l.programmed, base+p)
 				}
 			}
@@ -741,6 +760,9 @@ func (l *LUN) reset(now sim.Time) error {
 	l.failLast = false
 	l.mp = mpState{}
 	l.curOp = arrReset
+	// SET FEATURES settings are volatile: RESET reverts them to their
+	// power-on defaults (phase trim, timing mode).
+	l.powerOnFeatures()
 	l.busyUntil = now.Add(d)
 	l.arrayBusyUntil = l.busyUntil
 	return nil
@@ -779,19 +801,37 @@ func (l *LUN) resume(now sim.Time) error {
 	return nil
 }
 
-// readArray fetches row's stored content (0xFF-filled if erased) with
-// wear-dependent bit errors injected.
-func (l *LUN) readArray(row uint32) []byte {
-	out := make([]byte, l.geo.FullPageBytes())
+// readArrayInto fetches row's stored content (0xFF-filled if erased)
+// into dst, a full-page buffer, with wear-dependent bit errors injected.
+func (l *LUN) readArrayInto(row uint32, dst []byte) {
 	if stored, ok := l.pages[row]; ok {
-		copy(out, stored)
+		copy(dst, stored.Bytes())
 	} else {
-		for i := range out {
-			out[i] = 0xFF
+		for i := range dst {
+			dst[i] = 0xFF
 		}
 	}
-	l.injectErrors(row, out)
-	return out
+	l.injectErrors(row, dst)
+}
+
+// storePage commits a full page of data to the array in a pooled buffer
+// and marks the row programmed.
+func (l *LUN) storePage(row uint32, data []byte) {
+	buf := l.pool.Get()
+	copy(buf.Bytes(), data)
+	if old, ok := l.pages[row]; ok {
+		old.Release()
+	}
+	l.pages[row] = buf
+	l.programmed[row] = true
+}
+
+// dropPage releases row's pooled buffer, if any, and forgets it.
+func (l *LUN) dropPage(row uint32) {
+	if buf, ok := l.pages[row]; ok {
+		buf.Release()
+		delete(l.pages, row)
+	}
 }
 
 // DataIn accepts a data burst from the controller (Data Writer µFSM) into
@@ -823,10 +863,21 @@ func (l *LUN) DataIn(now sim.Time, data []byte) error {
 	return nil
 }
 
-// DataOut streams n bytes out of the LUN (Data Reader µFSM): status,
-// page/cache register contents from the current column, ID bytes, or
-// feature data, depending on the preceding command.
+// DataOut streams n bytes out of the LUN into a fresh slice. Hot paths
+// use DataOutInto; this wrapper serves callers that want an owned copy.
 func (l *LUN) DataOut(now sim.Time, n int) ([]byte, error) {
+	out := make([]byte, n)
+	if err := l.DataOutInto(now, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DataOutInto streams len(dst) bytes out of the LUN (Data Reader µFSM)
+// into dst: status, page/cache register contents from the current
+// column, ID bytes, or feature data, depending on the preceding command.
+// Every byte of dst is overwritten on success.
+func (l *LUN) DataOutInto(now sim.Time, dst []byte) error {
 	l.settle(now)
 	// A bare 00h latch after READ STATUS is the ONFI READ MODE command:
 	// it re-selects the interrupted data output. The decoder cannot
@@ -836,58 +887,62 @@ func (l *LUN) DataOut(now sim.Time, n int) ([]byte, error) {
 		l.out = l.lastDataOut
 		l.dec = decIdle
 	}
-	out := make([]byte, n)
 	switch l.out {
 	case outStatus:
 		s := l.Status(now)
-		for i := range out {
-			out[i] = s
+		for i := range dst {
+			dst[i] = s
 		}
-		return out, nil
+		return nil
 	case outPage:
 		if !l.Ready(now) {
-			return nil, l.protoErr("page data out while busy")
+			return l.protoErr("page data out while busy")
 		}
 		if l.loadPending {
-			return nil, l.protoErr("page data out before load settled")
+			return l.protoErr("page data out before load settled")
 		}
-		out, err := l.copyRegister(l.pageReg, n)
-		l.applyPhaseCorruption(out)
-		return out, err
+		if err := l.copyRegisterInto(dst, l.pageReg); err != nil {
+			return err
+		}
+		l.applyPhaseCorruption(dst)
+		return nil
 	case outCache:
 		// Cache output is legal while the array is busy; RDY gates it.
 		if now < l.busyUntil {
-			return nil, l.protoErr("cache data out while busy")
+			return l.protoErr("cache data out while busy")
 		}
-		out, err := l.copyRegister(l.cacheReg, n)
-		l.applyPhaseCorruption(out)
-		return out, err
+		if err := l.copyRegisterInto(dst, l.cacheReg); err != nil {
+			return err
+		}
+		l.applyPhaseCorruption(dst)
+		return nil
 	case outParamPage:
 		if !l.Ready(now) {
-			return nil, l.protoErr("parameter page out while busy")
+			return l.protoErr("parameter page out while busy")
 		}
-		out := make([]byte, n)
-		for i := range out {
+		for i := range dst {
 			idx := l.column + i
 			// The package repeats parameter-page copies back to back.
-			out[i] = l.paramPage[idx%len(l.paramPage)]
+			dst[i] = l.paramPage[idx%len(l.paramPage)]
 		}
-		l.column += n
-		l.applyPhaseCorruption(out)
-		return out, nil
+		l.column += len(dst)
+		l.applyPhaseCorruption(dst)
+		return nil
 	case outID:
-		for i := range out {
+		for i := range dst {
 			idx := l.idOffset + l.column + i
 			if idx < len(l.params.IDBytes) {
-				out[i] = l.params.IDBytes[idx]
+				dst[i] = l.params.IDBytes[idx]
+			} else {
+				dst[i] = 0
 			}
 		}
-		l.column += n
-		return out, nil
+		l.column += len(dst)
+		return nil
 	case outFeature:
-		return l.copyRegister(l.cacheReg, n)
+		return l.copyRegisterInto(dst, l.cacheReg)
 	default:
-		return nil, l.protoErr("data out with no output source selected")
+		return l.protoErr("data out with no output source selected")
 	}
 }
 
@@ -912,12 +967,11 @@ func (l *LUN) applyPhaseCorruption(out []byte) {
 	}
 }
 
-func (l *LUN) copyRegister(reg []byte, n int) ([]byte, error) {
-	if l.column+n > len(reg) {
-		return nil, l.protoErr("data out overruns register (col %d + %d bytes)", l.column, n)
+func (l *LUN) copyRegisterInto(dst, reg []byte) error {
+	if l.column+len(dst) > len(reg) {
+		return l.protoErr("data out overruns register (col %d + %d bytes)", l.column, len(dst))
 	}
-	out := make([]byte, n)
-	copy(out, reg[l.column:])
-	l.column += n
-	return out, nil
+	copy(dst, reg[l.column:])
+	l.column += len(dst)
+	return nil
 }

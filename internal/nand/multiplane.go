@@ -69,7 +69,9 @@ func (l *LUN) finishMPRead(now sim.Time, finalRow uint32) error {
 	l.mp.planeData = make(map[int][]byte)
 	var worst sim.Duration
 	for _, r := range rows {
-		l.mp.planeData[l.geo.PlaneOf(l.rowOf(r).Block)] = l.readArray(r)
+		data := make([]byte, l.geo.FullPageBytes())
+		l.readArrayInto(r, data)
+		l.mp.planeData[l.geo.PlaneOf(l.rowOf(r).Block)] = data
 		if d := l.jitterFor(r, l.params.TR); d > worst {
 			worst = d
 		}
@@ -164,10 +166,7 @@ func (l *LUN) finishMPProgram(now sim.Time, slc bool) error {
 		case l.bad[block], l.programmed[row]:
 			l.failLast = true
 		default:
-			page := make([]byte, l.geo.FullPageBytes())
-			copy(page, datas[i])
-			l.pages[row] = page
-			l.programmed[row] = true
+			l.storePage(row, datas[i])
 		}
 		if d := l.jitterFor(row, tp); d > worst {
 			worst = d

@@ -18,10 +18,18 @@ func (l *LUN) SeedPage(row onfi.RowAddr, data []byte) error {
 	if len(data) > l.geo.FullPageBytes() {
 		return fmt.Errorf("nand: seed data of %d bytes exceeds page size %d", len(data), l.geo.FullPageBytes())
 	}
-	page := make([]byte, l.geo.FullPageBytes())
-	copy(page, data)
 	idx := l.rowIndex(row)
-	l.pages[idx] = page
+	buf := l.pool.Get()
+	// Pooled buffers arrive dirty: pad the tail past the seed data.
+	page := buf.Bytes()
+	n := copy(page, data)
+	for i := n; i < len(page); i++ {
+		page[i] = 0
+	}
+	if old, ok := l.pages[idx]; ok {
+		old.Release()
+	}
+	l.pages[idx] = buf
 	l.programmed[idx] = true
 	return nil
 }
@@ -35,7 +43,7 @@ func (l *LUN) PeekPage(row onfi.RowAddr) ([]byte, error) {
 	}
 	out := make([]byte, l.geo.FullPageBytes())
 	if stored, ok := l.pages[l.rowIndex(row)]; ok {
-		copy(out, stored)
+		copy(out, stored.Bytes())
 	} else {
 		for i := range out {
 			out[i] = 0xFF

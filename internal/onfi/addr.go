@@ -139,6 +139,27 @@ func (g Geometry) RowLatches(r RowAddr) []Latch {
 	return out
 }
 
+// AppendAddrLatches appends the five address latches for a full
+// read/program address to dst. Passing a stack-backed dst[:0] builds the
+// burst without heap allocation.
+func (g Geometry) AppendAddrLatches(dst []Latch, a Addr) []Latch {
+	bs := g.EncodeAddr(a)
+	for _, b := range bs {
+		dst = append(dst, AddrLatch(b))
+	}
+	return dst
+}
+
+// AppendRowLatches appends the three row-address latches used by ERASE
+// to dst.
+func (g Geometry) AppendRowLatches(dst []Latch, r RowAddr) []Latch {
+	bs := g.EncodeRowAddr(r)
+	for _, b := range bs {
+		dst = append(dst, AddrLatch(b))
+	}
+	return dst
+}
+
 // PlaneOf reports which plane a block belongs to (blocks are interleaved
 // round-robin across planes, the common NAND arrangement).
 func (g Geometry) PlaneOf(block int) int { return block % g.Planes }

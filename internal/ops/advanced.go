@@ -24,7 +24,8 @@ func CacheReadPages(startRow onfi.RowAddr, count, dramAddr, pageBytes int) core.
 			return err
 		}
 		// Initial READ starts the first array fetch.
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: startRow}, onfi.CmdRead2)...)
+		var lbuf [8]onfi.Latch
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: startRow}, onfi.CmdRead2)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
@@ -70,7 +71,8 @@ func ReadWithRetry(addr onfi.Addr, dramAddr, n int, verify func([]byte) bool) co
 		}
 		read := func() error {
 			g := ctx.Geometry()
-			ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+			var lbuf [8]onfi.Latch
+			ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
 			if res := ctx.Submit(); res.Err != nil {
 				return res.Err
 			}
@@ -81,7 +83,7 @@ func ReadWithRetry(addr onfi.Addr, dramAddr, n int, verify func([]byte) bool) co
 			if s&onfi.StatusFail != 0 {
 				return fmt.Errorf("ops: retry read FAIL")
 			}
-			ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+			ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], addr.Col)...)
 			ctx.ReadData(dramAddr, n)
 			res := ctx.Submit()
 			return res.Err
@@ -145,7 +147,8 @@ func GangRead(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
 		// (paper §IV-A: "the Chip Control can be used to gang schedule a
 		// particular operation").
 		ctx.Chip(mask)
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		var lbuf [8]onfi.Latch
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
@@ -164,7 +167,7 @@ func GangRead(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
 			}
 		}
 		ctx.Chip(bus.Mask(winner))
-		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], addr.Col)...)
 		ctx.ReadData(dramAddr, n)
 		res := ctx.Submit()
 		return res.Err
@@ -188,9 +191,9 @@ func GangProgram(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
 			mask |= bus.Mask(c)
 		}
 		ctx.Chip(mask)
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
-		latches = append(latches, g.AddrLatches(addr)...)
+		var lbuf [8]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdProgram1))
+		latches = g.AppendAddrLatches(latches, addr)
 		ctx.CmdAddr(latches...)
 		ctx.WriteData(dramAddr, n)
 		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))
@@ -233,9 +236,9 @@ func EraseWithSuspend(block int, readAddr onfi.Addr, dramAddr, n int, suspendAft
 			return fmt.Errorf("ops: cannot read block %d while it is being erased", block)
 		}
 		// Start the erase.
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
-		latches = append(latches, g.RowLatches(row)...)
+		var lbuf [8]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdErase1))
+		latches = g.AppendRowLatches(latches, row)
 		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
 		ctx.CmdAddr(latches...)
 		if res := ctx.Submit(); res.Err != nil {
@@ -251,14 +254,14 @@ func EraseWithSuspend(block int, readAddr onfi.Addr, dramAddr, n int, suspendAft
 			return err
 		}
 		// Service the urgent read inside the suspension window.
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: readAddr.Row}, onfi.CmdRead2)...)
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: readAddr.Row}, onfi.CmdRead2)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
 		if _, err := pollReady(ctx, chip); err != nil {
 			return err
 		}
-		ctx.CmdAddr(changeColumnLatches(readAddr.Col)...)
+		ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], readAddr.Col)...)
 		ctx.ReadData(dramAddr, n)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err

@@ -29,7 +29,8 @@ func CopybackPage(src, dst onfi.RowAddr) core.OpFunc {
 			return fmt.Errorf("ops: copyback destination: %w", err)
 		}
 		// Transaction 1: READ FOR COPYBACK.
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: src}, onfi.CmdCopybackRead)...)
+		var lbuf [8]onfi.Latch
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: src}, onfi.CmdCopybackRead)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
@@ -41,9 +42,8 @@ func CopybackPage(src, dst onfi.RowAddr) core.OpFunc {
 			return fmt.Errorf("ops: copyback read of %+v reported FAIL", src)
 		}
 		// Transaction 2: COPYBACK PROGRAM to the destination.
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdCopybackProgram))
-		latches = append(latches, g.AddrLatches(onfi.Addr{Row: dst})...)
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdCopybackProgram))
+		latches = g.AppendAddrLatches(latches, onfi.Addr{Row: dst})
 		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram2))
 		ctx.CmdAddr(latches...)
 		if res := ctx.Submit(); res.Err != nil {

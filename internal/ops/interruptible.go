@@ -39,9 +39,9 @@ func InterruptibleErase(block int, next func() (UrgentRead, bool)) core.OpFunc {
 			return err
 		}
 		// Kick off the erase.
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
-		latches = append(latches, g.RowLatches(row)...)
+		var lbuf [5]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdErase1))
+		latches = g.AppendRowLatches(latches, row)
 		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
 		ctx.CmdAddr(latches...)
 		if res := ctx.Submit(); res.Err != nil {
@@ -130,7 +130,8 @@ func serveRead(ctx *core.Ctx, chip int, g onfi.Geometry, ur UrgentRead) error {
 	if err := g.CheckAddr(ur.Addr); err != nil {
 		return err
 	}
-	ctx.CmdAddr(readLatches(g, onfi.Addr{Row: ur.Addr.Row}, onfi.CmdRead2)...)
+	var lbuf [8]onfi.Latch
+	ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: ur.Addr.Row}, onfi.CmdRead2)...)
 	if res := ctx.Submit(); res.Err != nil {
 		return res.Err
 	}
@@ -141,7 +142,7 @@ func serveRead(ctx *core.Ctx, chip int, g onfi.Geometry, ur UrgentRead) error {
 	if s&onfi.StatusFail != 0 {
 		return fmt.Errorf("ops: urgent read at %+v reported FAIL", ur.Addr.Row)
 	}
-	ctx.CmdAddr(changeColumnLatches(ur.Addr.Col)...)
+	ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], ur.Addr.Col)...)
 	ctx.ReadData(ur.DramAddr, ur.N)
 	res := ctx.Submit()
 	return res.Err
@@ -159,9 +160,9 @@ func InterruptibleProgram(addr onfi.Addr, dramAddr, n int, next func() (UrgentRe
 		if err := g.CheckAddr(addr); err != nil {
 			return err
 		}
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
-		latches = append(latches, g.AddrLatches(addr)...)
+		var lbuf [8]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdProgram1))
+		latches = g.AppendAddrLatches(latches, addr)
 		ctx.CmdAddr(latches...)
 		ctx.WriteData(dramAddr, n)
 		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))

@@ -44,8 +44,9 @@ func MPReadPages(rows []onfi.RowAddr, dramAddr, pageBytes int) core.OpFunc {
 			return err
 		}
 		// Queue every plane but the last; each 32h costs one tDBSY.
+		var lbuf [8]onfi.Latch
 		for _, r := range rows[:len(rows)-1] {
-			ctx.CmdAddr(readLatches(g, onfi.Addr{Row: r}, onfi.CmdMPReadQueue)...)
+			ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: r}, onfi.CmdMPReadQueue)...)
 			if res := ctx.Submit(); res.Err != nil {
 				return res.Err
 			}
@@ -54,7 +55,7 @@ func MPReadPages(rows []onfi.RowAddr, dramAddr, pageBytes int) core.OpFunc {
 			}
 		}
 		// Final plane confirms with 30h: all planes fetch together.
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: rows[len(rows)-1]}, onfi.CmdRead2)...)
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: rows[len(rows)-1]}, onfi.CmdRead2)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
@@ -68,9 +69,8 @@ func MPReadPages(rows []onfi.RowAddr, dramAddr, pageBytes int) core.OpFunc {
 		// Stream each plane out: 06h + full address + E0h selects the
 		// plane, then the data burst.
 		for i, r := range rows {
-			var latches []onfi.Latch
-			latches = append(latches, onfi.CmdLatch(onfi.CmdChangeReadColE1))
-			latches = append(latches, g.AddrLatches(onfi.Addr{Row: r})...)
+			latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdChangeReadColE1))
+			latches = g.AppendAddrLatches(latches, onfi.Addr{Row: r})
 			latches = append(latches, onfi.CmdLatch(onfi.CmdChangeReadCol2))
 			ctx.CmdAddr(latches...)
 			ctx.ReadData(dramAddr+i*pageBytes, pageBytes)
@@ -96,10 +96,10 @@ func MPProgramPages(rows []onfi.RowAddr, dramAddr, pageBytes int) core.OpFunc {
 		if err := checkPlanes(g, rows); err != nil {
 			return err
 		}
+		var lbuf [8]onfi.Latch
 		for i, r := range rows {
-			var latches []onfi.Latch
-			latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
-			latches = append(latches, g.AddrLatches(onfi.Addr{Row: r})...)
+			latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdProgram1))
+			latches = g.AppendAddrLatches(latches, onfi.Addr{Row: r})
 			ctx.CmdAddr(latches...)
 			ctx.WriteData(dramAddr+i*pageBytes, pageBytes)
 			if i < len(rows)-1 {
@@ -141,10 +141,11 @@ func MPEraseBlocks(blocks []int) core.OpFunc {
 		if err := checkPlanes(g, rows); err != nil {
 			return err
 		}
-		var latches []onfi.Latch
+		var lbuf [32]onfi.Latch
+		latches := lbuf[:0]
 		for _, r := range rows {
 			latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
-			latches = append(latches, g.RowLatches(r)...)
+			latches = g.AppendRowLatches(latches, r)
 		}
 		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
 		ctx.CmdAddr(latches...)

@@ -65,23 +65,24 @@ func pollArrayReady(ctx *core.Ctx, chip int) (byte, error) {
 	}
 }
 
-// readLatches builds the READ.1 + 5-address + confirm burst.
-func readLatches(g onfi.Geometry, a onfi.Addr, confirm onfi.Cmd) []onfi.Latch {
-	out := make([]onfi.Latch, 0, 7)
-	out = append(out, onfi.CmdLatch(onfi.CmdRead1))
-	out = append(out, g.AddrLatches(a)...)
-	out = append(out, onfi.CmdLatch(confirm))
-	return out
+// appendReadLatches appends the READ.1 + 5-address + confirm burst to
+// dst. Callers pass a stack-backed dst so the burst never touches the
+// heap — Ctx.CmdAddr copies it into the context's latch arena.
+func appendReadLatches(dst []onfi.Latch, g onfi.Geometry, a onfi.Addr, confirm onfi.Cmd) []onfi.Latch {
+	dst = append(dst, onfi.CmdLatch(onfi.CmdRead1))
+	dst = g.AppendAddrLatches(dst, a)
+	dst = append(dst, onfi.CmdLatch(confirm))
+	return dst
 }
 
-// changeColumnLatches builds the 0x05 + column + 0xE0 burst.
-func changeColumnLatches(col onfi.ColAddr) []onfi.Latch {
+// appendChangeColumnLatches appends the 0x05 + column + 0xE0 burst to dst.
+func appendChangeColumnLatches(dst []onfi.Latch, col onfi.ColAddr) []onfi.Latch {
 	cb := onfi.EncodeColAddr(col)
-	return []onfi.Latch{
+	return append(dst,
 		onfi.CmdLatch(onfi.CmdChangeReadCol1),
 		onfi.AddrLatch(cb[0]), onfi.AddrLatch(cb[1]),
 		onfi.CmdLatch(onfi.CmdChangeReadCol2),
-	}
+	)
 }
 
 // ReadPage returns the READ operation with a Column Address Change
@@ -96,7 +97,8 @@ func ReadPage(addr onfi.Addr, dramAddr, n int) core.OpFunc {
 			return err
 		}
 		// Transaction 1: command + page address + confirm (starts tR).
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		var lbuf [8]onfi.Latch
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
@@ -111,7 +113,7 @@ func ReadPage(addr onfi.Addr, dramAddr, n int) core.OpFunc {
 		// Transaction 2 (final): select the column and stream the data
 		// out. The Final tag lets a staged successor start the instant
 		// the transfer leaves the channel.
-		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], addr.Col)...)
 		ctx.ReadData(dramAddr, n)
 		if res := ctx.SubmitFinal(); res.Err != nil {
 			return res.Err
@@ -132,8 +134,9 @@ func ReadPageSLC(addr onfi.Addr, dramAddr, n int) core.OpFunc {
 		}
 		// The only difference from ReadPage (the paper greys exactly
 		// this): a pSLC enable latch ahead of READ.1.
-		latches := append([]onfi.Latch{onfi.CmdLatch(onfi.CmdPSLCEnable)},
-			readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		var lbuf [9]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdPSLCEnable))
+		latches = appendReadLatches(latches, g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)
 		ctx.CmdAddr(latches...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
@@ -145,7 +148,7 @@ func ReadPageSLC(addr onfi.Addr, dramAddr, n int) core.OpFunc {
 		if s&onfi.StatusFail != 0 {
 			return fmt.Errorf("ops: pSLC read at %+v reported FAIL", addr.Row)
 		}
-		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], addr.Col)...)
 		ctx.ReadData(dramAddr, n)
 		if res := ctx.SubmitFinal(); res.Err != nil {
 			return res.Err
@@ -163,12 +166,13 @@ func ReadPageFixedWait(addr onfi.Addr, dramAddr, n int, wait sim.Duration) core.
 		if err := g.CheckAddr(addr); err != nil {
 			return err
 		}
-		ctx.CmdAddr(readLatches(g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
+		var lbuf [8]onfi.Latch
+		ctx.CmdAddr(appendReadLatches(lbuf[:0], g, onfi.Addr{Row: addr.Row}, onfi.CmdRead2)...)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
 		ctx.Sleep(wait)
-		ctx.CmdAddr(changeColumnLatches(addr.Col)...)
+		ctx.CmdAddr(appendChangeColumnLatches(lbuf[:0], addr.Col)...)
 		ctx.ReadData(dramAddr, n)
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
@@ -195,12 +199,13 @@ func programPage(addr onfi.Addr, dramAddr, n int, slc bool) core.OpFunc {
 		if err := g.CheckAddr(addr); err != nil {
 			return err
 		}
-		var latches []onfi.Latch
+		var lbuf [8]onfi.Latch
+		latches := lbuf[:0]
 		if slc {
 			latches = append(latches, onfi.CmdLatch(onfi.CmdPSLCEnable))
 		}
 		latches = append(latches, onfi.CmdLatch(onfi.CmdProgram1))
-		latches = append(latches, g.AddrLatches(addr)...)
+		latches = g.AppendAddrLatches(latches, addr)
 		ctx.CmdAddr(latches...)
 		ctx.WriteData(dramAddr, n)
 		ctx.CmdAddr(onfi.CmdLatch(onfi.CmdProgram2))
@@ -228,9 +233,9 @@ func EraseBlock(block int) core.OpFunc {
 		if err := g.CheckAddr(onfi.Addr{Row: row}); err != nil {
 			return err
 		}
-		var latches []onfi.Latch
-		latches = append(latches, onfi.CmdLatch(onfi.CmdErase1))
-		latches = append(latches, g.RowLatches(row)...)
+		var lbuf [5]onfi.Latch
+		latches := append(lbuf[:0], onfi.CmdLatch(onfi.CmdErase1))
+		latches = g.AppendRowLatches(latches, row)
 		latches = append(latches, onfi.CmdLatch(onfi.CmdErase2))
 		ctx.CmdAddr(latches...)
 		if res := ctx.Submit(); res.Err != nil {

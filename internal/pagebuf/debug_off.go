@@ -1,0 +1,14 @@
+//go:build !bufdebug
+
+package pagebuf
+
+// debugState is empty in the normal build; the ownership checks compile
+// to nothing.
+type debugState struct{}
+
+func (b *Buf) checkLive(string) {}
+func (b *Buf) onGet()           {}
+func (b *Buf) onRelease()       {}
+
+// DebugEnabled reports whether the bufdebug build tag is active.
+const DebugEnabled = false

@@ -1,0 +1,40 @@
+//go:build bufdebug
+
+package pagebuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PoisonByte fills every released payload so a reader holding a stale
+// alias sees an unmistakable pattern instead of plausible data.
+const PoisonByte = 0xDB
+
+// DebugEnabled reports whether the bufdebug build tag is active.
+const DebugEnabled = true
+
+// debugState tracks liveness per handle. released is accessed atomically
+// so racing misuse panics rather than corrupting the flag itself.
+type debugState struct {
+	released atomic.Bool
+}
+
+func (b *Buf) checkLive(op string) {
+	if b.dbg.released.Load() {
+		panic(fmt.Sprintf("pagebuf: %s on released buffer (size %d): use-after-release or double-release", op, len(b.data)))
+	}
+}
+
+func (b *Buf) onGet() {
+	b.dbg.released.Store(false)
+}
+
+func (b *Buf) onRelease() {
+	for i := range b.data {
+		b.data[i] = PoisonByte
+	}
+	if b.dbg.released.Swap(true) {
+		panic(fmt.Sprintf("pagebuf: double release of buffer (size %d)", len(b.data)))
+	}
+}

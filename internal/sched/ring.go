@@ -1,0 +1,46 @@
+package sched
+
+// ring is a growable circular queue. The append/q[1:] idiom the queues
+// previously used leaks capacity on every pop, so a steady push/pop
+// stream reallocates forever; the ring recycles its backing array and
+// allocates nothing once it reaches its high-water size.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // drop the reference so popped items can be collected
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+func (r *ring[T]) grow() {
+	size := 2 * len(r.buf)
+	if size < 4 {
+		size = 4
+	}
+	next := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}

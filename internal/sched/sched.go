@@ -46,39 +46,35 @@ type TxnQueue interface {
 
 // ---------------------------------------------------------------- FIFO --
 
-type taskFIFO struct{ q []Task }
+type taskFIFO struct{ q ring[Task] }
 
 // NewTaskFIFO returns a first-come-first-served task scheduler.
 func NewTaskFIFO() TaskQueue { return &taskFIFO{} }
 
 func (f *taskFIFO) Name() string { return "fifo" }
-func (f *taskFIFO) Push(t Task)  { f.q = append(f.q, t) }
-func (f *taskFIFO) Len() int     { return len(f.q) }
+func (f *taskFIFO) Push(t Task)  { f.q.push(t) }
+func (f *taskFIFO) Len() int     { return f.q.len() }
 func (f *taskFIFO) Pop() Task {
-	if len(f.q) == 0 {
+	t, ok := f.q.pop()
+	if !ok {
 		return nil
 	}
-	t := f.q[0]
-	f.q[0] = nil
-	f.q = f.q[1:]
 	return t
 }
 
-type txnFIFO struct{ q []*txn.Transaction }
+type txnFIFO struct{ q ring[*txn.Transaction] }
 
 // NewTxnFIFO returns a first-come-first-served transaction scheduler.
 func NewTxnFIFO() TxnQueue { return &txnFIFO{} }
 
 func (f *txnFIFO) Name() string            { return "fifo" }
-func (f *txnFIFO) Push(t *txn.Transaction) { f.q = append(f.q, t) }
-func (f *txnFIFO) Len() int                { return len(f.q) }
+func (f *txnFIFO) Push(t *txn.Transaction) { f.q.push(t) }
+func (f *txnFIFO) Len() int                { return f.q.len() }
 func (f *txnFIFO) Pop() *txn.Transaction {
-	if len(f.q) == 0 {
+	t, ok := f.q.pop()
+	if !ok {
 		return nil
 	}
-	t := f.q[0]
-	f.q[0] = nil
-	f.q = f.q[1:]
 	return t
 }
 
@@ -87,24 +83,27 @@ func (f *txnFIFO) Pop() *txn.Transaction {
 // roundRobin services per-chip FIFOs in rotating order, so no chip's
 // operations can starve the others even under asymmetric load.
 type taskRR struct {
-	perChip map[int][]Task
+	perChip map[int]*ring[Task]
 	order   []int
 	next    int
 	n       int
 }
 
 // NewTaskRoundRobin returns a chip-fair round-robin task scheduler.
-func NewTaskRoundRobin() TaskQueue { return &taskRR{perChip: make(map[int][]Task)} }
+func NewTaskRoundRobin() TaskQueue { return &taskRR{perChip: make(map[int]*ring[Task])} }
 
 func (r *taskRR) Name() string { return "round-robin" }
 func (r *taskRR) Len() int     { return r.n }
 
 func (r *taskRR) Push(t Task) {
 	chip := t.TaskChip()
-	if _, ok := r.perChip[chip]; !ok {
+	q, ok := r.perChip[chip]
+	if !ok {
+		q = &ring[Task]{}
+		r.perChip[chip] = q
 		r.order = append(r.order, chip)
 	}
-	r.perChip[chip] = append(r.perChip[chip], t)
+	q.push(t)
 	r.n++
 }
 
@@ -114,10 +113,7 @@ func (r *taskRR) Pop() Task {
 	}
 	for i := 0; i < len(r.order); i++ {
 		chip := r.order[(r.next+i)%len(r.order)]
-		if q := r.perChip[chip]; len(q) > 0 {
-			t := q[0]
-			q[0] = nil
-			r.perChip[chip] = q[1:]
+		if t, ok := r.perChip[chip].pop(); ok {
 			r.next = (r.next + i + 1) % len(r.order)
 			r.n--
 			return t
@@ -127,7 +123,7 @@ func (r *taskRR) Pop() Task {
 }
 
 type txnRR struct {
-	perChip map[int][]*txn.Transaction
+	perChip map[int]*ring[*txn.Transaction]
 	order   []int
 	next    int
 	n       int
@@ -135,16 +131,21 @@ type txnRR struct {
 
 // NewTxnRoundRobin returns a chip-fair round-robin transaction scheduler
 // — the "simple version" the paper describes.
-func NewTxnRoundRobin() TxnQueue { return &txnRR{perChip: make(map[int][]*txn.Transaction)} }
+func NewTxnRoundRobin() TxnQueue {
+	return &txnRR{perChip: make(map[int]*ring[*txn.Transaction])}
+}
 
 func (r *txnRR) Name() string { return "round-robin" }
 func (r *txnRR) Len() int     { return r.n }
 
 func (r *txnRR) Push(t *txn.Transaction) {
-	if _, ok := r.perChip[t.Chip]; !ok {
+	q, ok := r.perChip[t.Chip]
+	if !ok {
+		q = &ring[*txn.Transaction]{}
+		r.perChip[t.Chip] = q
 		r.order = append(r.order, t.Chip)
 	}
-	r.perChip[t.Chip] = append(r.perChip[t.Chip], t)
+	q.push(t)
 	r.n++
 }
 
@@ -154,10 +155,7 @@ func (r *txnRR) Pop() *txn.Transaction {
 	}
 	for i := 0; i < len(r.order); i++ {
 		chip := r.order[(r.next+i)%len(r.order)]
-		if q := r.perChip[chip]; len(q) > 0 {
-			t := q[0]
-			q[0] = nil
-			r.perChip[chip] = q[1:]
+		if t, ok := r.perChip[chip].pop(); ok {
 			r.next = (r.next + i + 1) % len(r.order)
 			r.n--
 			return t
@@ -297,8 +295,8 @@ func (p *txnPrio) Pop() *txn.Transaction {
 // txnClass classifies a transaction for the issue-first policy.
 func isIssueTxn(t *txn.Transaction) bool {
 	for _, in := range t.Instrs {
-		switch in.(type) {
-		case txn.DataRead, txn.DataWrite:
+		switch in.Kind {
+		case txn.KindDataRead, txn.KindDataWrite:
 			return false
 		}
 	}
@@ -306,7 +304,7 @@ func isIssueTxn(t *txn.Transaction) bool {
 }
 
 type txnIssueFirst struct {
-	issues []*txn.Transaction
+	issues ring[*txn.Transaction]
 	rest   TxnQueue
 }
 
@@ -323,21 +321,18 @@ func NewTxnIssueFirst() TxnQueue {
 }
 
 func (q *txnIssueFirst) Name() string { return "issue-first" }
-func (q *txnIssueFirst) Len() int     { return len(q.issues) + q.rest.Len() }
+func (q *txnIssueFirst) Len() int     { return q.issues.len() + q.rest.Len() }
 
 func (q *txnIssueFirst) Push(t *txn.Transaction) {
 	if isIssueTxn(t) {
-		q.issues = append(q.issues, t)
+		q.issues.push(t)
 		return
 	}
 	q.rest.Push(t)
 }
 
 func (q *txnIssueFirst) Pop() *txn.Transaction {
-	if len(q.issues) > 0 {
-		t := q.issues[0]
-		q.issues[0] = nil
-		q.issues = q.issues[1:]
+	if t, ok := q.issues.pop(); ok {
 		return t
 	}
 	return q.rest.Pop()

@@ -137,8 +137,8 @@ func TestTxnShortestFirst(t *testing.T) {
 	tm := onfi.DefaultTiming()
 	cfg := onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: 200}
 	q := NewTxnShortestFirst(tm, cfg)
-	long := &txn.Transaction{ID: 1, Instrs: []txn.Instr{txn.TimerWait{D: sim.Millisecond}}}
-	short := &txn.Transaction{ID: 2, Instrs: []txn.Instr{txn.TimerWait{D: sim.Microsecond}}}
+	long := &txn.Transaction{ID: 1, Instrs: []txn.Instr{txn.TimerWait(sim.Millisecond)}}
+	short := &txn.Transaction{ID: 2, Instrs: []txn.Instr{txn.TimerWait(sim.Microsecond)}}
 	q.Push(long)
 	q.Push(short)
 	got := drainTxns(q)
@@ -214,21 +214,21 @@ func TestTxnIssueFirst(t *testing.T) {
 		t.Error("name")
 	}
 	transfer := &txn.Transaction{ID: 1, Chip: 0, Instrs: []txn.Instr{
-		txn.ChipControl{Mask: 1},
-		txn.DataRead{N: 16384},
+		txn.ChipControl(1),
+		txn.DataRead(0, 16384, false),
 	}}
 	issue := &txn.Transaction{ID: 2, Chip: 1, Instrs: []txn.Instr{
-		txn.ChipControl{Mask: 2},
-		txn.CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdRead1)}},
+		txn.ChipControl(2),
+		txn.CmdAddr([]onfi.Latch{onfi.CmdLatch(onfi.CmdRead1)}),
 	}}
 	poll := &txn.Transaction{ID: 3, Chip: 0, Instrs: []txn.Instr{
-		txn.ChipControl{Mask: 1},
-		txn.CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}},
-		txn.DataRead{N: 1, Capture: true},
+		txn.ChipControl(1),
+		txn.CmdAddr([]onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}),
+		txn.DataRead(-1, 1, true),
 	}}
 	writeTx := &txn.Transaction{ID: 4, Chip: 1, Instrs: []txn.Instr{
-		txn.ChipControl{Mask: 2},
-		txn.DataWrite{N: 512},
+		txn.ChipControl(2),
+		txn.DataWrite(0, 512),
 	}}
 	q.Push(transfer)
 	q.Push(poll)
@@ -253,8 +253,8 @@ func TestTxnIssueFirst(t *testing.T) {
 
 func TestTxnIssueFirstTimerIsIssueClass(t *testing.T) {
 	q := NewTxnIssueFirst()
-	timer := &txn.Transaction{ID: 1, Instrs: []txn.Instr{txn.TimerWait{D: sim.Microsecond}}}
-	data := &txn.Transaction{ID: 2, Instrs: []txn.Instr{txn.ChipControl{Mask: 1}, txn.DataRead{N: 8}}}
+	timer := &txn.Transaction{ID: 1, Instrs: []txn.Instr{txn.TimerWait(sim.Microsecond)}}
+	data := &txn.Transaction{ID: 2, Instrs: []txn.Instr{txn.ChipControl(1), txn.DataRead(0, 8, false)}}
 	q.Push(data)
 	q.Push(timer)
 	if got := drainTxns(q); got[0] != 1 {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/ecc"
 	"repro/internal/hwctrl"
 	"repro/internal/nand"
 	"repro/internal/onfi"
@@ -131,7 +130,12 @@ func (s *SSD) Preload(lpns int) error {
 		}
 		FillPattern(buf[:s.pageBytes], lpn)
 		if s.withECC {
-			copy(buf[s.pageBytes:], ecc.EncodePage(buf[:s.pageBytes]))
+			// Encode parity in place in the staging buffer — the
+			// EncodePage-then-copy detour allocated a parity slice per
+			// preloaded page.
+			if err := s.codec.EncodePageInto(buf[s.pageBytes:], buf[:s.pageBytes]); err != nil {
+				return fmt.Errorf("ssd: preload LPN %d: %w", lpn, err)
+			}
 		}
 		if err := s.backend.Chip(loc.Chip).SeedPage(loc.Row, buf); err != nil {
 			return fmt.Errorf("ssd: preload LPN %d: %w", lpn, err)

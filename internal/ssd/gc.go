@@ -67,6 +67,15 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 		return
 	}
 	lpn := live[idx]
+	if s.inflightPrograms[lpn] > 0 {
+		// The page's program has not landed in the array yet (the FTL
+		// maps at allocation time, and the transaction scheduler may run
+		// our relocation's read issue ahead of the program's data
+		// transfer). Relocating now would copy erased cells; park this
+		// step until the program lands.
+		s.awaitProgram(lpn, func() { s.gcMove(chip, victim, live, idx) })
+		return
+	}
 	src, ok := s.ftl.Lookup(lpn)
 	if !ok || src.Row.Block != victim || src.Chip != chip {
 		// The host overwrote this page since the candidate snapshot;
@@ -84,10 +93,12 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 				return
 			}
 			s.stats.GCCopybacks++
+			s.programStarted(lpn)
 			cb.CopybackPage(chip, src.Row, dst.Row, func(err error) {
 				if err != nil {
 					s.ftl.Invalidate(lpn)
 				}
+				s.programLanded(lpn)
 				s.gcMove(chip, victim, live, idx+1)
 			})
 			return
@@ -115,11 +126,13 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 				s.gcRunning[chip] = false
 				return
 			}
+			s.programStarted(lpn)
 			s.backend.ProgramPage(dst.Chip, dst.Row, addr, n, func(err error) {
 				s.releaseSlot(addr)
 				if err != nil {
 					s.ftl.Invalidate(lpn)
 				}
+				s.programLanded(lpn)
 				s.gcMove(chip, victim, live, idx+1)
 			})
 		})

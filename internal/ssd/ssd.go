@@ -73,6 +73,11 @@ type SSD struct {
 	ftl     *ftl.FTL
 	mem     *dram.Buffer
 	withECC bool
+	// codec is the drive's ECC engine; its scratch is reused across every
+	// encode/decode so the steady-state datapath allocates nothing. SSD
+	// callbacks all run on the single-threaded simulation kernel, so one
+	// codec per drive is safe.
+	codec ecc.Codec
 
 	pageBytes   int
 	parityBytes int
@@ -80,6 +85,20 @@ type SSD struct {
 	slotBase    int
 	freeSlots   []int
 	waiters     []func(int)
+	// freeReads recycles host-read states (with their bound callbacks)
+	// so the steady-state read path allocates nothing per command.
+	freeReads []*readState
+
+	// inflightPrograms counts in-flight PROGRAMs per LPN (host writes and
+	// GC relocations): the FTL maps an LPN at allocation time, before the
+	// program lands in the array, and the issue-first transaction
+	// scheduler can reorder a later operation's latch burst ahead of the
+	// program's data transfer. GC must therefore not relocate a page
+	// whose program is still in flight — it would copy erased cells and
+	// install the stale copy as the LPN's only mapping. programWaiters
+	// holds the GC continuations parked on such pages.
+	inflightPrograms map[int]int
+	programWaiters   map[int][]func()
 
 	gcRunning    map[int]bool
 	useCopyback  bool
@@ -127,6 +146,9 @@ func New(cfg Config) (*SSD, error) {
 		slotSize:     slotSize,
 		slotBase:     cfg.SlotBase,
 		gcRunning:    make(map[int]bool),
+
+		inflightPrograms: make(map[int]int),
+		programWaiters:   make(map[int][]func()),
 	}
 	for i := 0; i < cfg.Slots; i++ {
 		s.freeSlots = append(s.freeSlots, cfg.SlotBase+i*slotSize)
@@ -190,27 +212,68 @@ func (s *SSD) read(cmd hic.Command) {
 		s.complete(cmd, nil)
 		return
 	}
-	s.acquireSlot(func(addr int) {
-		n := s.pageBytes + s.parityBytes
-		finish := func(err error) {
-			if err == nil && s.withECC {
-				err = s.decodeECC(addr)
-			}
-			s.releaseSlot(addr)
-			s.complete(cmd, err)
-		}
-		// A suspendable erase on the target chip: jump the queue by
-		// riding the erase operation's urgent-read service instead of
-		// waiting multiple milliseconds behind it.
-		if q := s.eraseQueues[loc.Chip]; q != nil {
-			s.stats.UrgentReads++
-			q.push(ops.UrgentRead{
-				Addr: onfi.Addr{Row: loc.Row}, DramAddr: addr, N: n, Done: finish,
-			})
-			return
-		}
-		s.backend.ReadPage(loc.Chip, loc.Row, addr, n, finish)
-	})
+	r := s.getReadState()
+	r.cmd = cmd
+	r.loc = loc
+	s.acquireSlot(r.startFn)
+}
+
+// readState carries one host read from slot acquisition through backend
+// completion. Its callbacks are bound once and the SSD pools the states:
+// a read in the steady state borrows everything it needs.
+type readState struct {
+	s        *SSD
+	cmd      hic.Command
+	loc      ftl.Location
+	addr     int
+	startFn  func(int)
+	finishFn func(error)
+}
+
+func (s *SSD) getReadState() *readState {
+	if n := len(s.freeReads); n > 0 {
+		r := s.freeReads[n-1]
+		s.freeReads[n-1] = nil
+		s.freeReads = s.freeReads[:n-1]
+		return r
+	}
+	r := &readState{s: s}
+	r.startFn = r.start
+	r.finishFn = r.finish
+	return r
+}
+
+// start runs once the read holds a DRAM slot.
+func (r *readState) start(addr int) {
+	s := r.s
+	r.addr = addr
+	n := s.pageBytes + s.parityBytes
+	// A suspendable erase on the target chip: jump the queue by
+	// riding the erase operation's urgent-read service instead of
+	// waiting multiple milliseconds behind it.
+	if q := s.eraseQueues[r.loc.Chip]; q != nil {
+		s.stats.UrgentReads++
+		q.push(ops.UrgentRead{
+			Addr: onfi.Addr{Row: r.loc.Row}, DramAddr: addr, N: n, Done: r.finishFn,
+		})
+		return
+	}
+	s.backend.ReadPage(r.loc.Chip, r.loc.Row, addr, n, r.finishFn)
+}
+
+// finish completes the read: ECC check, slot release, state recycle,
+// host callback — recycled before the callback so a synchronously
+// chained read reuses this state.
+func (r *readState) finish(err error) {
+	s := r.s
+	if err == nil && s.withECC {
+		err = s.decodeECC(r.addr)
+	}
+	s.releaseSlot(r.addr)
+	cmd := r.cmd
+	r.cmd = hic.Command{}
+	s.freeReads = append(s.freeReads, r)
+	s.complete(cmd, err)
 }
 
 // urgentQueue feeds latency-critical reads to an interruptible erase.
@@ -240,7 +303,7 @@ func (s *SSD) decodeECC(addr int) error {
 	if err != nil {
 		return err
 	}
-	corrected, err := ecc.DecodePage(page, parity)
+	corrected, err := s.codec.DecodePage(page, parity)
 	s.stats.ECCCorrections += uint64(corrected)
 	if err != nil {
 		s.stats.ECCFailures++
@@ -260,7 +323,39 @@ func (s *SSD) scrubECC(addr int) error {
 	if err != nil {
 		return err
 	}
-	return s.mem.Write(addr+s.pageBytes, ecc.EncodePage(page))
+	parity, err := s.mem.Window(addr+s.pageBytes, s.parityBytes)
+	if err != nil {
+		return err
+	}
+	return s.codec.EncodePageInto(parity, page)
+}
+
+// programStarted records an in-flight program against lpn's current
+// mapping. Pair with programLanded once the program's outcome is known.
+func (s *SSD) programStarted(lpn int) { s.inflightPrograms[lpn]++ }
+
+// programLanded retires one in-flight program for lpn and, when none
+// remain, releases GC continuations parked on the page.
+func (s *SSD) programLanded(lpn int) {
+	if n := s.inflightPrograms[lpn]; n > 1 {
+		s.inflightPrograms[lpn] = n - 1
+		return
+	}
+	delete(s.inflightPrograms, lpn)
+	ws := s.programWaiters[lpn]
+	if len(ws) == 0 {
+		return
+	}
+	delete(s.programWaiters, lpn)
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// awaitProgram parks fn until every in-flight program for lpn lands.
+// Callers must have checked inflightPrograms[lpn] > 0.
+func (s *SSD) awaitProgram(lpn int, fn func()) {
+	s.programWaiters[lpn] = append(s.programWaiters[lpn], fn)
 }
 
 // write expects the host payload to already be staged by the caller; the
@@ -293,8 +388,10 @@ func (s *SSD) programWithRetry(cmd hic.Command, addr, attempt int) {
 		return
 	}
 	n := s.pageBytes + s.parityBytes
+	s.programStarted(cmd.LPN)
 	s.backend.ProgramPage(loc.Chip, loc.Row, addr, n, func(err error) {
 		if err == nil {
+			s.programLanded(cmd.LPN)
 			s.releaseSlot(addr)
 			s.complete(cmd, nil)
 			s.maybeGC(loc.Chip)
@@ -303,9 +400,14 @@ func (s *SSD) programWithRetry(cmd hic.Command, addr, attempt int) {
 		s.ftl.Invalidate(cmd.LPN)
 		s.ftl.RetireBlock(loc.Chip, loc.Row.Block)
 		if attempt+1 < maxProgramRetries {
+			// Start the retry's program before retiring this one so the
+			// in-flight count never dips to zero mid-retry (a parked GC
+			// continuation must not run against the invalidated mapping).
 			s.programWithRetry(cmd, addr, attempt+1)
+			s.programLanded(cmd.LPN)
 			return
 		}
+		s.programLanded(cmd.LPN)
 		s.releaseSlot(addr)
 		s.complete(cmd, err)
 	})
@@ -366,8 +468,11 @@ func (s *SSD) stagePattern(addr, lpn int) error {
 	}
 	FillPattern(w, lpn)
 	if s.withECC {
-		parity := ecc.EncodePage(w)
-		return s.mem.Write(addr+s.pageBytes, parity)
+		parity, err := s.mem.Window(addr+s.pageBytes, s.parityBytes)
+		if err != nil {
+			return err
+		}
+		return s.codec.EncodePageInto(parity, w)
 	}
 	return nil
 }

@@ -23,65 +23,88 @@ import (
 	"repro/internal/sim"
 )
 
-// Instr is one µFSM instruction.
-type Instr interface {
-	isInstr()
-	String() string
-}
+// Kind discriminates the µFSM an instruction programs.
+type Kind uint8
 
-// ChipControl selects the chips subsequent instructions drive.
-type ChipControl struct {
+const (
+	KindChipControl Kind = iota + 1
+	KindCmdAddr
+	KindDataWrite
+	KindDataRead
+	KindTimerWait
+)
+
+// Instr is one µFSM instruction. It is a flat tagged union rather than an
+// interface so that instruction slices hold values directly: appending an
+// Instr to a reused transaction buffer moves no data to the heap, where
+// the old per-kind structs boxed one allocation per instruction per
+// enqueue.
+type Instr struct {
+	Kind Kind
+	// Mask is the chip-enable bitmap (ChipControl).
 	Mask bus.ChipMask
-}
-
-// CmdAddr emits a command/address latch burst.
-type CmdAddr struct {
+	// Latches is the command/address burst (CmdAddr). The slice is owned
+	// by the transaction builder; it stays valid until the transaction
+	// completes.
 	Latches []onfi.Latch
-}
-
-// DataWrite moves N bytes from DRAM address Addr into the selected LUNs'
-// page registers.
-type DataWrite struct {
+	// Addr/N address the DRAM window of a data movement (DataWrite,
+	// DataRead).
 	Addr int
 	N    int
-}
-
-// DataRead moves N bytes from the selected LUN's register into DRAM at
-// Addr. If Capture is set, the bytes are additionally returned in the
-// transaction's Result (used for status and feature reads).
-type DataRead struct {
-	Addr    int
-	N       int
+	// Capture marks a DataRead whose bytes are additionally returned in
+	// the transaction's Result (status and feature reads).
 	Capture bool
-}
-
-// TimerWait holds the channel idle for at least D.
-type TimerWait struct {
+	// D is the hold time of a TimerWait.
 	D sim.Duration
 }
 
-func (ChipControl) isInstr() {}
-func (CmdAddr) isInstr()     {}
-func (DataWrite) isInstr()   {}
-func (DataRead) isInstr()    {}
-func (TimerWait) isInstr()   {}
+// ChipControl selects the chips subsequent instructions drive.
+func ChipControl(m bus.ChipMask) Instr { return Instr{Kind: KindChipControl, Mask: m} }
 
-func (i ChipControl) String() string { return fmt.Sprintf("chip(%016b)", uint16(i.Mask)) }
-func (i CmdAddr) String() string {
-	parts := make([]string, len(i.Latches))
-	for j, l := range i.Latches {
-		parts[j] = fmt.Sprintf("%v:%02X", l.Kind, l.Value)
-	}
-	return "cmdaddr(" + strings.Join(parts, " ") + ")"
+// CmdAddr emits a command/address latch burst.
+func CmdAddr(latches []onfi.Latch) Instr { return Instr{Kind: KindCmdAddr, Latches: latches} }
+
+// DataWrite moves n bytes from DRAM address addr into the selected LUNs'
+// page registers.
+func DataWrite(addr, n int) Instr { return Instr{Kind: KindDataWrite, Addr: addr, N: n} }
+
+// DataRead moves n bytes from the selected LUN's register into DRAM at
+// addr. If capture is set, the bytes are additionally returned in the
+// transaction's Result (used for status and feature reads); addr may be
+// -1 for capture-only reads that bypass DRAM.
+func DataRead(addr, n int, capture bool) Instr {
+	return Instr{Kind: KindDataRead, Addr: addr, N: n, Capture: capture}
 }
-func (i DataWrite) String() string { return fmt.Sprintf("write(dram=%d n=%d)", i.Addr, i.N) }
-func (i DataRead) String() string  { return fmt.Sprintf("read(dram=%d n=%d)", i.Addr, i.N) }
-func (i TimerWait) String() string { return fmt.Sprintf("wait(%v)", i.D) }
+
+// TimerWait holds the channel idle for at least d.
+func TimerWait(d sim.Duration) Instr { return Instr{Kind: KindTimerWait, D: d} }
+
+func (i Instr) String() string {
+	switch i.Kind {
+	case KindChipControl:
+		return fmt.Sprintf("chip(%016b)", uint16(i.Mask))
+	case KindCmdAddr:
+		parts := make([]string, len(i.Latches))
+		for j, l := range i.Latches {
+			parts[j] = fmt.Sprintf("%v:%02X", l.Kind, l.Value)
+		}
+		return "cmdaddr(" + strings.Join(parts, " ") + ")"
+	case KindDataWrite:
+		return fmt.Sprintf("write(dram=%d n=%d)", i.Addr, i.N)
+	case KindDataRead:
+		return fmt.Sprintf("read(dram=%d n=%d)", i.Addr, i.N)
+	case KindTimerWait:
+		return fmt.Sprintf("wait(%v)", i.D)
+	}
+	return fmt.Sprintf("instr(kind=%d)", i.Kind)
+}
 
 // Result reports a transaction's outcome to the operation that built it.
 type Result struct {
 	// Captured holds the bytes of every DataRead with Capture set,
-	// concatenated.
+	// concatenated. The slice aliases the transaction's CapBuf: it is
+	// owned by the operation that built the transaction and stays valid
+	// only until that operation submits its next transaction.
 	Captured []byte
 	// End is when the transaction's last segment left the channel.
 	End sim.Time
@@ -108,6 +131,11 @@ type Transaction struct {
 	Final bool
 	// Instrs are executed in order.
 	Instrs []Instr
+	// CapBuf, when non-nil, receives the captured bytes of DataRead
+	// instructions with Capture set (appended, so pass a [:0] slice to
+	// reuse storage). The execution unit hands the filled slice back via
+	// Result.Captured; ownership stays with the transaction builder.
+	CapBuf []byte
 	// Done is invoked by the execution unit when the transaction
 	// completes (may be nil).
 	Done func(Result)
@@ -120,37 +148,39 @@ func (t *Transaction) Validate() error {
 	}
 	sel := false
 	for _, in := range t.Instrs {
-		switch v := in.(type) {
-		case ChipControl:
-			if v.Mask == 0 {
+		switch in.Kind {
+		case KindChipControl:
+			if in.Mask == 0 {
 				return fmt.Errorf("txn: chip control with empty mask")
 			}
 			sel = true
-		case CmdAddr:
-			if len(v.Latches) == 0 {
+		case KindCmdAddr:
+			if len(in.Latches) == 0 {
 				return fmt.Errorf("txn: empty latch burst")
 			}
 			if !sel {
 				return fmt.Errorf("txn: latch burst before any chip selection")
 			}
-		case DataWrite:
-			if v.N <= 0 {
-				return fmt.Errorf("txn: data write of %d bytes", v.N)
+		case KindDataWrite:
+			if in.N <= 0 {
+				return fmt.Errorf("txn: data write of %d bytes", in.N)
 			}
 			if !sel {
 				return fmt.Errorf("txn: data write before any chip selection")
 			}
-		case DataRead:
-			if v.N <= 0 {
-				return fmt.Errorf("txn: data read of %d bytes", v.N)
+		case KindDataRead:
+			if in.N <= 0 {
+				return fmt.Errorf("txn: data read of %d bytes", in.N)
 			}
 			if !sel {
 				return fmt.Errorf("txn: data read before any chip selection")
 			}
-		case TimerWait:
-			if v.D < 0 {
+		case KindTimerWait:
+			if in.D < 0 {
 				return fmt.Errorf("txn: negative timer wait")
 			}
+		default:
+			return fmt.Errorf("txn: instruction with unknown kind %d", in.Kind)
 		}
 	}
 	return nil
@@ -162,15 +192,15 @@ func (t *Transaction) Validate() error {
 func (t *Transaction) EstimateDuration(tm onfi.Timing, cfg onfi.BusConfig) sim.Duration {
 	var d sim.Duration
 	for _, in := range t.Instrs {
-		switch v := in.(type) {
-		case CmdAddr:
-			d += tm.LatchSegment(len(v.Latches))
-		case DataWrite:
-			d += tm.DataSegment(cfg, v.N)
-		case DataRead:
-			d += tm.TWHR + tm.DataSegment(cfg, v.N)
-		case TimerWait:
-			d += v.D
+		switch in.Kind {
+		case KindCmdAddr:
+			d += tm.LatchSegment(len(in.Latches))
+		case KindDataWrite:
+			d += tm.DataSegment(cfg, in.N)
+		case KindDataRead:
+			d += tm.TWHR + tm.DataSegment(cfg, in.N)
+		case KindTimerWait:
+			d += in.D
 		}
 	}
 	return d

@@ -13,9 +13,9 @@ func validTxn() *Transaction {
 	return &Transaction{
 		ID: 1, OpID: 2, Chip: 0,
 		Instrs: []Instr{
-			ChipControl{Mask: bus.Mask(0)},
-			CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}},
-			DataRead{Addr: -1, N: 1, Capture: true},
+			ChipControl(bus.Mask(0)),
+			CmdAddr([]onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}),
+			DataRead(-1, 1, true),
 		},
 	}
 }
@@ -32,14 +32,15 @@ func TestValidateRejects(t *testing.T) {
 		instrs []Instr
 	}{
 		{"empty", nil},
-		{"empty mask", []Instr{ChipControl{}}},
-		{"latch before select", []Instr{CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(0x70)}}}},
-		{"empty burst", []Instr{ChipControl{Mask: 1}, CmdAddr{}}},
-		{"zero write", []Instr{ChipControl{Mask: 1}, DataWrite{N: 0}}},
-		{"write before select", []Instr{DataWrite{N: 4}}},
-		{"zero read", []Instr{ChipControl{Mask: 1}, DataRead{N: 0}}},
-		{"read before select", []Instr{DataRead{N: 4}}},
-		{"negative wait", []Instr{TimerWait{D: -1}}},
+		{"empty mask", []Instr{ChipControl(0)}},
+		{"latch before select", []Instr{CmdAddr([]onfi.Latch{onfi.CmdLatch(0x70)})}},
+		{"empty burst", []Instr{ChipControl(1), CmdAddr(nil)}},
+		{"zero write", []Instr{ChipControl(1), DataWrite(0, 0)}},
+		{"write before select", []Instr{DataWrite(0, 4)}},
+		{"zero read", []Instr{ChipControl(1), DataRead(0, 0, false)}},
+		{"read before select", []Instr{DataRead(0, 4, false)}},
+		{"negative wait", []Instr{TimerWait(-1)}},
+		{"unknown kind", []Instr{{}}},
 	}
 	for _, c := range cases {
 		tx := &Transaction{Instrs: c.instrs}
@@ -53,17 +54,17 @@ func TestEstimateDuration(t *testing.T) {
 	tm := onfi.DefaultTiming()
 	cfg := onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: 200}
 	tx := &Transaction{Instrs: []Instr{
-		ChipControl{Mask: 1},
-		CmdAddr{Latches: make([]onfi.Latch, 7)},
-		TimerWait{D: 10 * sim.Microsecond},
-		DataRead{N: 100},
+		ChipControl(1),
+		CmdAddr(make([]onfi.Latch, 7)),
+		TimerWait(10 * sim.Microsecond),
+		DataRead(0, 100, false),
 	}}
 	want := tm.LatchSegment(7) + 10*sim.Microsecond + tm.TWHR + tm.DataSegment(cfg, 100)
 	if got := tx.EstimateDuration(tm, cfg); got != want {
 		t.Errorf("EstimateDuration = %v, want %v", got, want)
 	}
 	// Chip control costs nothing.
-	empty := &Transaction{Instrs: []Instr{ChipControl{Mask: 1}}}
+	empty := &Transaction{Instrs: []Instr{ChipControl(1)}}
 	if got := empty.EstimateDuration(tm, cfg); got != 0 {
 		t.Errorf("chip-control-only duration = %v", got)
 	}
@@ -77,13 +78,13 @@ func TestStrings(t *testing.T) {
 			t.Errorf("String() = %q missing %q", s, want)
 		}
 	}
-	if !strings.Contains((TimerWait{D: sim.Microsecond}).String(), "1us") {
+	if !strings.Contains(TimerWait(sim.Microsecond).String(), "1us") {
 		t.Error("TimerWait.String missing duration")
 	}
-	if !strings.Contains((DataWrite{Addr: 5, N: 9}).String(), "n=9") {
+	if !strings.Contains(DataWrite(5, 9).String(), "n=9") {
 		t.Error("DataWrite.String missing size")
 	}
-	if !strings.Contains((ChipControl{Mask: 3}).String(), "11") {
+	if !strings.Contains(ChipControl(3).String(), "11") {
 		t.Error("ChipControl.String missing mask")
 	}
 }

@@ -26,6 +26,9 @@ type Executor struct {
 	mem  *dram.Buffer
 	stat Stats
 	tr   obs.Tracer
+	// scratch sinks data reads that target neither DRAM nor the capture
+	// buffer; reused across transactions.
+	scratch []byte
 }
 
 // Stats counts executed work.
@@ -65,7 +68,10 @@ func (e *Executor) Execute(t *txn.Transaction) txn.Result {
 		return txn.Result{Err: err}
 	}
 	var sel bus.ChipMask
-	var captured []byte
+	captured := t.CapBuf
+	if captured != nil {
+		captured = captured[:0]
+	}
 	var end sim.Time
 	for _, in := range t.Instrs {
 		e.stat.Instructions++
@@ -76,43 +82,57 @@ func (e *Executor) Execute(t *txn.Transaction) txn.Result {
 		if e.tr != nil {
 			busyBefore = e.ch.Stats().BusyTime
 		}
-		switch v := in.(type) {
-		case txn.ChipControl:
+		switch in.Kind {
+		case txn.KindChipControl:
 			// C/E Control µFSM: pure modifier, no bus time.
-			sel = v.Mask
-		case txn.CmdAddr:
+			sel = in.Mask
+		case txn.KindCmdAddr:
 			// Command/Address Writer µFSM.
 			label = "cmd-addr"
-			end, err = e.ch.Latch(sel, v.Latches, t.OpID)
-		case txn.DataWrite:
+			end, err = e.ch.Latch(sel, in.Latches, t.OpID)
+		case txn.KindDataWrite:
 			// Packetizer fetches from DRAM; Data Writer drives DQ/DQS.
-			label, nbytes = "data-write", v.N
+			label, nbytes = "data-write", in.N
 			var window []byte
-			window, err = e.mem.Window(v.Addr, v.N)
+			window, err = e.mem.Window(in.Addr, in.N)
 			if err == nil {
 				end, err = e.ch.DataIn(sel, window, t.OpID)
-				e.stat.DMAInBytes += uint64(v.N)
+				e.stat.DMAInBytes += uint64(in.N)
 			}
-		case txn.DataRead:
-			// Data Reader µFSM strobes DQS; Packetizer stores to DRAM.
-			label, nbytes = "data-read", v.N
-			var data []byte
-			data, end, err = e.ch.DataOut(sel, v.N, t.OpID)
+		case txn.KindDataRead:
+			// Data Reader µFSM strobes DQS; the Packetizer stores straight
+			// into the destination — the DRAM window, the capture buffer,
+			// or the executor's scratch sink — with no intermediate copy.
+			label, nbytes = "data-read", in.N
+			var dst []byte
+			switch {
+			case in.Addr >= 0:
+				dst, err = e.mem.Window(in.Addr, in.N)
+			case in.Capture:
+				base := len(captured)
+				captured = append(captured, make([]byte, in.N)...)
+				dst = captured[base:]
+			default:
+				if cap(e.scratch) < in.N {
+					e.scratch = make([]byte, in.N)
+				}
+				dst = e.scratch[:in.N]
+			}
 			if err == nil {
-				if v.Addr >= 0 {
-					err = e.mem.Write(v.Addr, data)
-				}
-				e.stat.DMAOutBytes += uint64(v.N)
-				if v.Capture {
-					captured = append(captured, data...)
+				end, err = e.ch.DataOutInto(sel, dst, t.OpID)
+			}
+			if err == nil {
+				e.stat.DMAOutBytes += uint64(in.N)
+				if in.Capture && in.Addr >= 0 {
+					captured = append(captured, dst...)
 				}
 			}
-		case txn.TimerWait:
+		case txn.KindTimerWait:
 			// Timer µFSM.
 			label = "timer-wait"
-			end, err = e.ch.Pause(v.D, t.OpID)
+			end, err = e.ch.Pause(in.D, t.OpID)
 		default:
-			err = fmt.Errorf("ufsm: unknown instruction %T", in)
+			err = fmt.Errorf("ufsm: unknown instruction kind %d", in.Kind)
 		}
 		if e.tr != nil && label != "" {
 			e.tr.Event(obs.Event{

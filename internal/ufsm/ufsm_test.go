@@ -43,9 +43,9 @@ func TestExecuteStatusTransaction(t *testing.T) {
 	tx := &txn.Transaction{
 		ID: 1, OpID: 1, Chip: 0,
 		Instrs: []txn.Instr{
-			txn.ChipControl{Mask: bus.Mask(0)},
-			txn.CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}},
-			txn.DataRead{Addr: -1, N: 1, Capture: true},
+			txn.ChipControl(bus.Mask(0)),
+			txn.CmdAddr([]onfi.Latch{onfi.CmdLatch(onfi.CmdReadStatus)}),
+			txn.DataRead(-1, 1, true),
 		},
 	}
 	res := e.Execute(tx)
@@ -84,8 +84,8 @@ func TestExecuteFullReadIntoDRAM(t *testing.T) {
 	res := e.Execute(&txn.Transaction{
 		ID: 1, OpID: 1, Chip: 0,
 		Instrs: []txn.Instr{
-			txn.ChipControl{Mask: bus.Mask(0)},
-			txn.CmdAddr{Latches: latches},
+			txn.ChipControl(bus.Mask(0)),
+			txn.CmdAddr(latches),
 		},
 	})
 	if res.Err != nil {
@@ -97,8 +97,8 @@ func TestExecuteFullReadIntoDRAM(t *testing.T) {
 	res = e.Execute(&txn.Transaction{
 		ID: 2, OpID: 1, Chip: 0,
 		Instrs: []txn.Instr{
-			txn.ChipControl{Mask: bus.Mask(0)},
-			txn.DataRead{Addr: 4096, N: 256},
+			txn.ChipControl(bus.Mask(0)),
+			txn.DataRead(4096, 256, false),
 		},
 	})
 	if res.Err != nil {
@@ -135,10 +135,10 @@ func TestExecuteProgramFromDRAM(t *testing.T) {
 	res := e.Execute(&txn.Transaction{
 		ID: 1, OpID: 1, Chip: 0,
 		Instrs: []txn.Instr{
-			txn.ChipControl{Mask: bus.Mask(0)},
-			txn.CmdAddr{Latches: latches},
-			txn.DataWrite{Addr: 0, N: 128},
-			txn.CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdProgram2)}},
+			txn.ChipControl(bus.Mask(0)),
+			txn.CmdAddr(latches),
+			txn.DataWrite(0, 128),
+			txn.CmdAddr([]onfi.Latch{onfi.CmdLatch(onfi.CmdProgram2)}),
 		},
 	})
 	if res.Err != nil {
@@ -161,7 +161,7 @@ func TestExecuteTimerWait(t *testing.T) {
 	_, e, _ := newRig(t, 1)
 	res := e.Execute(&txn.Transaction{
 		ID: 1, OpID: 1,
-		Instrs: []txn.Instr{txn.TimerWait{D: 150 * sim.Nanosecond}},
+		Instrs: []txn.Instr{txn.TimerWait(150 * sim.Nanosecond)},
 	})
 	if res.Err != nil {
 		t.Fatal(res.Err)
@@ -183,8 +183,8 @@ func TestExecuteBadDRAMWindow(t *testing.T) {
 	_, e, _ := newRig(t, 1)
 	res := e.Execute(&txn.Transaction{
 		Instrs: []txn.Instr{
-			txn.ChipControl{Mask: bus.Mask(0)},
-			txn.DataWrite{Addr: 1 << 20, N: 16},
+			txn.ChipControl(bus.Mask(0)),
+			txn.DataWrite(1<<20, 16),
 		},
 	})
 	if res.Err == nil {
@@ -197,8 +197,8 @@ func TestExecuteLUNProtocolErrorSurfaces(t *testing.T) {
 	// A bare confirm command is a protocol error at the LUN.
 	res := e.Execute(&txn.Transaction{
 		Instrs: []txn.Instr{
-			txn.ChipControl{Mask: bus.Mask(0)},
-			txn.CmdAddr{Latches: []onfi.Latch{onfi.CmdLatch(onfi.CmdRead2)}},
+			txn.ChipControl(bus.Mask(0)),
+			txn.CmdAddr([]onfi.Latch{onfi.CmdLatch(onfi.CmdRead2)}),
 		},
 	})
 	if res.Err == nil {
