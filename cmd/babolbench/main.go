@@ -11,6 +11,19 @@
 //	babolbench split    software/hardware time split from the event stream
 //	babolbench all      everything above, in paper order
 //
+// beyond the paper, a robustness soak:
+//
+//	babolbench chaos
+//
+// which drives mixed read/write workloads with GC pressure through the
+// full SSD while a seeded fault plan injects stuck-busy LUNs, program/
+// erase fail storms, uncorrectable-ECC bursts, and erratic tR at the
+// NAND boundary, then verifies the drive drained without livelock or
+// data loss on unfaulted chips. -seeds picks the number of runs; each
+// run's plan derives from its seed alone, so any result reproduces
+// exactly (chaos is excluded from `all` so the paper outputs stay
+// fault-free).
+//
 // plus the software logic analyzer over recorded traces:
 //
 //	babolbench analyze trace.jsonl
@@ -105,9 +118,11 @@ func main() {
 	blocks := flag.Int("blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
 	trace := flag.String("trace", "", "append controller events to this JSONL file")
 	parallel := flag.Int("parallel", 0, "rigs simulated concurrently (0 = one per CPU, 1 = serial; results are identical at any setting)")
+	seeds := flag.Int("seeds", 8, "number of seeded fault plans for the chaos soak")
 	httpAddr := flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(os.Stderr, "       babolbench [-ops N] [-seeds N] [-parallel N] [-trace out.jsonl] chaos\n")
 		fmt.Fprintf(os.Stderr, "       babolbench [-csv] analyze trace.jsonl\n")
 		flag.PrintDefaults()
 	}
@@ -195,6 +210,20 @@ func main() {
 				fmt.Print(exp.Fig12CSV(pts))
 			} else {
 				fmt.Println(exp.RenderFig12(pts))
+			}
+		case "chaos":
+			list := make([]int64, *seeds)
+			for i := range list {
+				list[i] = int64(i + 1)
+			}
+			pts, err := exp.Chaos(opt, list)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Print(exp.ChaosCSV(pts))
+			} else {
+				fmt.Println(exp.RenderChaos(pts))
 			}
 		case "split":
 			rows, err := exp.TimeSplit(opt)

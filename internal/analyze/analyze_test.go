@@ -273,3 +273,43 @@ func TestAnalyzeRealRigMatchesMetrics(t *testing.T) {
 		t.Fatalf("protocol violations on a real trace: %v", v)
 	}
 }
+
+// A fault-injection trace must surface its forensics in both report
+// forms; a quiet trace must render without the section so the
+// checked-in goldens stay stable.
+func TestRenderFaultRecoverySection(t *testing.T) {
+	quiet := Analyze(synthetic())
+	if strings.Contains(quiet.Render(), "fault injection") || strings.Contains(quiet.CSV(), "kind,label,count") {
+		t.Fatal("quiet trace rendered the fault section")
+	}
+
+	events := append(synthetic(),
+		obs.Event{Time: 500, Kind: obs.KindFault, Chip: 1, Label: "stuck-busy"},
+		obs.Event{Time: 510, Kind: obs.KindFault, Chip: 1, Label: "stuck-busy"},
+		obs.Event{Time: 520, Kind: obs.KindFault, Chip: 0, Label: "ecc-burst"},
+		obs.Event{Time: 600, Kind: obs.KindRecovery, Chip: 1, Label: "reset"},
+		obs.Event{Time: 700, Kind: obs.KindRecovery, Chip: 1, Label: "chip-offline"},
+	)
+	res := Analyze(events)
+	report := res.Render()
+	for _, want := range []string{
+		"fault injection & recovery (all runs):",
+		"faults:     3 (ecc-burst=1 stuck-busy=2)",
+		"recoveries: 2 (chip-offline=1 reset=1)",
+		"run 0   ch0 chip1: faults=2 recoveries=2",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	csv := res.CSV()
+	for _, want := range []string{
+		"kind,label,count\n",
+		"fault,stuck-busy,2\n",
+		"recovery,reset,1\n",
+	} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -176,8 +177,43 @@ func (r *Result) CSV() string {
 				len(run.Violations))
 		}
 	}
+	if r.Metrics.Faults > 0 || r.Metrics.Recoveries > 0 {
+		b.WriteString("\nkind,label,count\n")
+		for _, l := range sortedLabels(r.Metrics.FaultsByLabel) {
+			fmt.Fprintf(&b, "fault,%s,%d\n", l, r.Metrics.FaultsByLabel[l])
+		}
+		for _, l := range sortedLabels(r.Metrics.RecoveriesByLabel) {
+			fmt.Fprintf(&b, "recovery,%s,%d\n", l, r.Metrics.RecoveriesByLabel[l])
+		}
+	}
 	b.WriteString("\n")
 	b.WriteString(SpansCSV(r.Spans))
+	return b.String()
+}
+
+func sortedLabels(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// labelCounts renders "total (label=n label=n ...)" with labels sorted.
+func labelCounts(total uint64, by map[string]uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", total)
+	if len(by) > 0 {
+		b.WriteString(" (")
+		for i, l := range sortedLabels(by) {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%d", l, by[l])
+		}
+		b.WriteString(")")
+	}
 	return b.String()
 }
 
@@ -214,6 +250,39 @@ func (r *Result) Render() string {
 		}
 		if run.Incomplete > 0 {
 			fmt.Fprintf(&b, "  run %-3d %d incomplete span(s) (truncated trace?)\n", run.Index, run.Incomplete)
+		}
+	}
+
+	// Fault-injection traces carry recovery forensics; quiet traces
+	// render exactly as before (the section is absent, keeping the
+	// checked-in goldens stable).
+	if r.Metrics.Faults > 0 || r.Metrics.Recoveries > 0 {
+		b.WriteString("\nfault injection & recovery (all runs):\n")
+		b.WriteString("  faults:     " + labelCounts(r.Metrics.Faults, r.Metrics.FaultsByLabel) + "\n")
+		b.WriteString("  recoveries: " + labelCounts(r.Metrics.Recoveries, r.Metrics.RecoveriesByLabel) + "\n")
+		for i := range r.Runs {
+			run := &r.Runs[i]
+			if run.Metrics.Faults == 0 && run.Metrics.Recoveries == 0 {
+				continue
+			}
+			keys := make([]obs.ChipKey, 0, len(run.Metrics.Chips))
+			for k := range run.Metrics.Chips {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				if keys[a].Channel != keys[b].Channel {
+					return keys[a].Channel < keys[b].Channel
+				}
+				return keys[a].Chip < keys[b].Chip
+			})
+			for _, k := range keys {
+				c := run.Metrics.Chips[k]
+				if c.Faults == 0 && c.Recoveries == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "  run %-3d ch%d chip%d: faults=%d recoveries=%d\n",
+					run.Index, k.Channel, k.Chip, c.Faults, c.Recoveries)
+			}
 		}
 	}
 

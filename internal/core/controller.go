@@ -80,6 +80,9 @@ type Stats struct {
 	OpsFailed      uint64
 	TxnsExecuted   uint64
 	AdmissionWaits uint64
+	// Recoveries counts recovery actions recorded via
+	// Ctx.Recovery (RESET escalations, chips declared dead).
+	Recoveries uint64
 }
 
 // OpsSucceeded reports operations that terminated without error.
@@ -137,11 +140,11 @@ type Controller struct {
 	execHeadFn func()
 	txnDoneFn  func()
 
-	dispatchSt     *opState         // task picked by the pending schedule pass
-	submitSt       *opState         // owner of the pending submit charge
-	submitTx       *txn.Transaction // transaction of the pending submit charge
-	completedTx    *txn.Transaction // transaction awaiting its completion callback
-	completedRes   txn.Result
+	dispatchSt   *opState         // task picked by the pending schedule pass
+	submitSt     *opState         // owner of the pending submit charge
+	submitTx     *txn.Transaction // transaction of the pending submit charge
+	completedTx  *txn.Transaction // transaction awaiting its completion callback
+	completedRes txn.Result
 
 	tracer  obs.Tracer
 	stats   Stats

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/coro"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/onfi"
 	"repro/internal/sim"
 	"repro/internal/txn"
@@ -308,4 +309,19 @@ func (x *Ctx) Sleep(d sim.Duration) {
 func (x *Ctx) YieldHint() {
 	x.pending = pendNone
 	x.y.Yield()
+}
+
+// Recovery records a recovery action taken by the running operation —
+// a RESET escalation after an exhausted poll budget, a chip declared
+// dead — bumping the controller's recovery counter and emitting a
+// KindRecovery event so the action is visible in the obs stream and
+// metrics.
+func (x *Ctx) Recovery(label string) {
+	x.ctrl.stats.Recoveries++
+	if x.ctrl.tracer != nil {
+		x.ctrl.tracer.Event(obs.Event{
+			Time: x.ctrl.k.Now(), Kind: obs.KindRecovery,
+			OpID: x.st.id, Chip: x.st.req.Chip, Label: label,
+		})
+	}
 }

@@ -195,4 +195,34 @@ func TestParallelSweepDeterminism(t *testing.T) {
 			t.Error("fig12 trace is empty; determinism check is vacuous")
 		}
 	})
+
+	// Chaos adds fault injection to the guarantee: the same fault-plan
+	// seeds must produce byte-identical results and traces — fault
+	// hits, RESET recoveries, and offlining decisions included — at any
+	// worker count.
+	t.Run("chaos", func(t *testing.T) {
+		seeds := []int64{1, 2, 3, 4, 5, 6}
+		var csv [2]string
+		var trace [2][]byte
+		for i, par := range []int{1, 8} {
+			opt := base
+			opt.Parallel = par
+			trace[i] = traceRun(t, opt, func(o Options) error {
+				pts, err := Chaos(o, seeds)
+				if err == nil {
+					csv[i] = ChaosCSV(pts)
+				}
+				return err
+			})
+		}
+		if csv[0] != csv[1] {
+			t.Error("chaos results differ between parallel=1 and parallel=8")
+		}
+		if !bytes.Equal(trace[0], trace[1]) {
+			t.Error("chaos merged traces differ between parallel=1 and parallel=8")
+		}
+		if len(trace[0]) == 0 {
+			t.Error("chaos trace is empty; determinism check is vacuous")
+		}
+	})
 }

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRandomizedIsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := Randomized(seed, 8, 256, 50*sim.Microsecond)
+		b := Randomized(seed, 8, 256, 50*sim.Microsecond)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two derivations differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestRandomizedVariesWithSeed(t *testing.T) {
+	a := Randomized(1, 8, 256, 50*sim.Microsecond)
+	b := Randomized(2, 8, 256, 50*sim.Microsecond)
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("seeds 1 and 2 produced identical plans: %+v", a)
+	}
+}
+
+func TestRandomizedCoversEveryCampaignClass(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := Randomized(seed, 4, 64, 20*sim.Microsecond)
+		if len(p.StuckBusy) != 1 || len(p.ECCBursts) != 1 || len(p.TRJitter) != 1 {
+			t.Fatalf("seed %d: plan missing a campaign class: %+v", seed, p)
+		}
+		if len(p.FailStorms) == 0 {
+			t.Fatalf("seed %d: plan has no fail storms", seed)
+		}
+		for _, b := range p.ECCBursts {
+			if b.RowHigh >= 64 {
+				t.Fatalf("seed %d: burst row %d beyond the %d-row LUN", seed, b.RowHigh, 64)
+			}
+		}
+	}
+}
+
+func TestInjectorNilForUntouchedChip(t *testing.T) {
+	p := Plan{StuckBusy: []StuckBusy{{Chip: 2, AfterOps: 1}}}
+	if inj := p.Injector(0, nil, 0); inj != nil {
+		t.Fatalf("chip 0 is untargeted but got injector %+v", inj)
+	}
+	if inj := p.Injector(2, nil, 2); inj == nil {
+		t.Fatalf("chip 2 is targeted but got no injector")
+	}
+	if got := p.Touched(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Touched() = %v, want [2]", got)
+	}
+}
+
+func TestStuckBusyFiresOnceAndResetClears(t *testing.T) {
+	p := Plan{StuckBusy: []StuckBusy{{Chip: 0, AfterOps: 2, Recoverable: true}}}
+	in := p.Injector(0, nil, 0)
+	for i := 0; i < 2; i++ {
+		if fo := in.OnRead(0, 0); fo.Stuck {
+			t.Fatalf("op %d wedged before AfterOps", i)
+		}
+	}
+	if fo := in.OnRead(0, 0); !fo.Stuck {
+		t.Fatalf("op past AfterOps did not wedge")
+	}
+	if in.OnReset(0) {
+		t.Fatalf("recoverable stuck chip reported dead after RESET")
+	}
+	if fo := in.OnRead(0, 0); fo.Stuck {
+		t.Fatalf("stuck condition re-fired after recovery")
+	}
+	if p.Hits() != 1 {
+		t.Fatalf("Hits() = %d, want 1", p.Hits())
+	}
+}
+
+func TestUnrecoverableStuckStaysDead(t *testing.T) {
+	p := Plan{StuckBusy: []StuckBusy{{Chip: 0, AfterOps: 0, Recoverable: false}}}
+	in := p.Injector(0, nil, 0)
+	if fo := in.OnProgram(0, 0); !fo.Stuck {
+		t.Fatalf("program past AfterOps did not wedge")
+	}
+	for i := 0; i < 3; i++ {
+		if !in.OnReset(0) {
+			t.Fatalf("RESET %d revived an unrecoverable chip", i)
+		}
+	}
+}
+
+func TestFailStormWindow(t *testing.T) {
+	p := Plan{FailStorms: []FailStorm{{Chip: 0, FirstOp: 2, Count: 2}}}
+	in := p.Injector(0, nil, 0)
+	var fails []bool
+	for i := 0; i < 6; i++ {
+		fails = append(fails, in.OnProgram(0, 0).Fail)
+	}
+	// pe ordinal is incremented before the check, so program i has pe=i+1:
+	// the window [2,4) covers the second and third programs.
+	want := []bool{false, true, true, false, false, false}
+	if !reflect.DeepEqual(fails, want) {
+		t.Fatalf("storm window = %v, want %v", fails, want)
+	}
+}
+
+func TestPersistentFailStorm(t *testing.T) {
+	p := Plan{FailStorms: []FailStorm{{Chip: 0, FirstOp: 1, Count: 0}}}
+	in := p.Injector(0, nil, 0)
+	for i := 0; i < 10; i++ {
+		if !in.OnErase(0, i).Fail {
+			t.Fatalf("persistent storm let erase %d through", i)
+		}
+	}
+}
+
+func TestECCBurstKeyedByRowAndBounded(t *testing.T) {
+	p := Plan{ECCBursts: []ECCBurst{{Chip: 0, RowLow: 4, RowHigh: 7, Hits: 2}}}
+	in := p.Injector(0, nil, 0)
+	if in.OnRead(0, 3).Corrupt || in.OnRead(0, 8).Corrupt {
+		t.Fatalf("burst corrupted a row outside [4,7]")
+	}
+	if !in.OnRead(0, 4).Corrupt || !in.OnRead(0, 7).Corrupt {
+		t.Fatalf("burst missed a row inside [4,7]")
+	}
+	if in.OnRead(0, 5).Corrupt {
+		t.Fatalf("burst kept corrupting past its Hits budget")
+	}
+}
+
+func TestTRJitterCadence(t *testing.T) {
+	const d = 100 * sim.Microsecond
+	p := Plan{TRJitter: []TRJitter{{Chip: 0, EveryN: 3, Delay: d}}}
+	in := p.Injector(0, nil, 0)
+	var delays []sim.Duration
+	for i := 0; i < 6; i++ {
+		delays = append(delays, in.OnRead(0, 0).Delay)
+	}
+	want := []sim.Duration{0, 0, d, 0, 0, d}
+	if !reflect.DeepEqual(delays, want) {
+		t.Fatalf("jitter cadence = %v, want %v", delays, want)
+	}
+}

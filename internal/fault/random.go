@@ -1,0 +1,66 @@
+package fault
+
+import "repro/internal/sim"
+
+// splitmix64 is the canonical SplitMix64 mixer — a tiny, seedable,
+// allocation-free PRNG step so plans never touch the global RNG.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Randomized derives a mixed fault campaign from seed, covering every
+// fault class the harness models: one stuck-busy chip (usually
+// recoverable, sometimes dead), one or two StatusFail storms
+// (occasionally persistent, which grinds a chip's spares down), one
+// uncorrectable-ECC burst over a window of rows, and erratic tR on one
+// chip. The same (seed, chips, rows, nominalTR) always yields the
+// same plan, so a chaos run reproduces exactly from its seed.
+func Randomized(seed int64, chips int, rows uint32, nominalTR sim.Duration) Plan {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ 0xD1B54A32D192ED03
+	pick := func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		return int(splitmix64(&x) % uint64(n))
+	}
+	p := Plan{Seed: seed}
+
+	p.StuckBusy = append(p.StuckBusy, StuckBusy{
+		Chip:        pick(chips),
+		AfterOps:    10 + pick(30),
+		Recoverable: pick(4) != 0,
+	})
+
+	for i, n := 0, 1+pick(2); i < n; i++ {
+		st := FailStorm{Chip: pick(chips), FirstOp: 4 + pick(20), Count: 1 + pick(3)}
+		if pick(8) == 0 {
+			st.Count = 0 // persistent: fails every program/erase from FirstOp on
+		}
+		p.FailStorms = append(p.FailStorms, st)
+	}
+
+	if rows > 0 {
+		lo := uint32(splitmix64(&x)) % rows
+		hi := lo + 15
+		if hi >= rows {
+			hi = rows - 1
+		}
+		p.ECCBursts = append(p.ECCBursts, ECCBurst{
+			Chip:    pick(chips),
+			RowLow:  lo,
+			RowHigh: hi,
+			Hits:    2 + pick(8),
+		})
+	}
+
+	p.TRJitter = append(p.TRJitter, TRJitter{
+		Chip:   pick(chips),
+		EveryN: 3 + pick(5),
+		Delay:  nominalTR * sim.Duration(2+pick(6)),
+	})
+	return p
+}

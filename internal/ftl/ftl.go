@@ -46,6 +46,9 @@ type chipState struct {
 	erases    int
 	livePages int
 	wear      []int // per-block erase counts (FTL's own view)
+	// offline removes the chip from every allocation and GC decision
+	// after the controller declared it dead (see OfflineChip).
+	offline bool
 }
 
 // FTL maps logical pages onto a channel of identical chips.
@@ -194,6 +197,9 @@ func (f *FTL) allocate(lpn int, gc bool) (Location, error) {
 // given stream under the GC-headroom rule: the host may never open the
 // last free block.
 func (f *FTL) hasSpace(cs *chipState, gc bool) bool {
+	if cs.offline {
+		return false
+	}
 	if gc {
 		return cs.activeGC >= 0 || len(cs.freeList) > 0
 	}
@@ -266,6 +272,9 @@ func (f *FTL) FreeBlocks(chip int) int {
 // the reserved watermark).
 func (f *FTL) NeedsGC(chip int) bool {
 	cs := &f.chipsArr[chip]
+	if cs.offline {
+		return false
+	}
 	free := len(cs.freeList)
 	if cs.active >= 0 {
 		free++
@@ -278,6 +287,9 @@ func (f *FTL) NeedsGC(chip int) bool {
 // when no sealed block exists.
 func (f *FTL) GCCandidate(chip int) (block int, liveLPNs []int, ok bool) {
 	cs := &f.chipsArr[chip]
+	if cs.offline {
+		return 0, nil, false
+	}
 	best, bestValid := -1, int(^uint(0)>>1)
 	for b := range cs.blocks {
 		blk := &cs.blocks[b]
@@ -372,6 +384,30 @@ func (f *FTL) RetireBlock(chip, block int) {
 	if cs.activeGC == block {
 		cs.activeGC = -1
 	}
+}
+
+// OfflineChip removes a chip from service after the controller
+// declared it dead (unresponsive through RESET recovery): both write
+// streams close, the chip stops being an allocation target, and GC
+// never selects it again. Mappings that point at the chip are kept —
+// the data may be partly recoverable offline — but reads against them
+// are the caller's problem to fail fast.
+func (f *FTL) OfflineChip(chip int) {
+	if chip < 0 || chip >= f.chips {
+		return
+	}
+	cs := &f.chipsArr[chip]
+	cs.offline = true
+	cs.active = -1
+	cs.activeGC = -1
+}
+
+// ChipOffline reports whether a chip was removed from service.
+func (f *FTL) ChipOffline(chip int) bool {
+	if chip < 0 || chip >= f.chips {
+		return false
+	}
+	return f.chipsArr[chip].offline
 }
 
 // ForceSealGC closes a chip's partially written GC-stream block so it

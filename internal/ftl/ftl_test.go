@@ -419,3 +419,89 @@ func TestAccessors(t *testing.T) {
 		t.Error("WA of empty stats")
 	}
 }
+
+// TestRetireActiveBlockMidWrite pins down the write-vs-retirement race:
+// a host write has been allocated a page in the chip's active block and
+// its program is still in flight when another write's media FAIL retires
+// that same block. The retired block must leave both the free list and
+// the active stream, the in-flight write's mapping must stay addressable
+// (its data still lands), and the next allocation must open a different
+// block cleanly.
+func TestRetireActiveBlockMidWrite(t *testing.T) {
+	f := newTestFTL(t, 1)
+	inFlight, err := f.AllocateWrite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inFlight.Row.Block
+
+	// The program for LPN 1 is "in flight" when the block is retired.
+	f.RetireBlock(0, victim)
+
+	// The mapping survives retirement: the program still lands and the
+	// page must remain readable until the host overwrites it.
+	if loc, ok := f.Lookup(1); !ok || loc != inFlight {
+		t.Fatalf("in-flight mapping lost: got %+v %v, want %+v", loc, ok, inFlight)
+	}
+
+	// A write racing the retirement re-allocates cleanly, elsewhere.
+	next, err := f.AllocateWrite(2)
+	if err != nil {
+		t.Fatalf("write racing retirement failed: %v", err)
+	}
+	if next.Row.Block == victim {
+		t.Fatalf("allocation reused retired block %d", victim)
+	}
+
+	// The retired block is never selected again — not by further host
+	// writes, not by GC.
+	for lpn := 3; ; lpn++ {
+		loc, err := f.AllocateWrite(lpn)
+		if err != nil {
+			break // chip full; every allocation avoided the bad block
+		}
+		if loc.Row.Block == victim {
+			t.Fatalf("LPN %d allocated in retired block %d", lpn, victim)
+		}
+	}
+	if block, _, ok := f.GCCandidate(0); ok && block == victim {
+		t.Fatalf("GC picked retired block %d", victim)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineChipClosesStreams(t *testing.T) {
+	f := newTestFTL(t, 2)
+	if _, err := f.AllocateWrite(1); err != nil {
+		t.Fatal(err)
+	}
+	f.OfflineChip(0)
+	if !f.ChipOffline(0) {
+		t.Fatal("chip 0 not reported offline")
+	}
+	// The mapping is kept (data may be partly recoverable offline) but
+	// every new allocation lands on the surviving chip.
+	if _, ok := f.Lookup(1); !ok {
+		t.Error("offlining dropped an existing mapping")
+	}
+	for lpn := 2; lpn < 10; lpn++ {
+		loc, err := f.AllocateWrite(lpn)
+		if err != nil {
+			t.Fatalf("LPN %d: %v", lpn, err)
+		}
+		if loc.Chip == 0 {
+			t.Fatalf("LPN %d allocated on offline chip", lpn)
+		}
+	}
+	if f.NeedsGC(0) {
+		t.Error("offline chip still asks for GC")
+	}
+	if _, _, ok := f.GCCandidate(0); ok {
+		t.Error("offline chip still offers GC candidates")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package nand
+
+import (
+	"hash/fnv"
+
+	"repro/internal/sim"
+)
+
+// FaultOutcome describes how an injected fault perturbs one array
+// operation. The zero value means "no fault". Faults manifest only
+// through the surfaces a real controller can observe — status bits,
+// busy timing, and data contents — never through side channels.
+type FaultOutcome struct {
+	// Fail makes the operation report StatusFail (PROGRAM/ERASE) and
+	// leaves the array unchanged.
+	Fail bool
+	// Stuck parks the LUN busy forever: RDY/ARDY never assert until a
+	// RESET clears the condition (or the chip is declared dead).
+	Stuck bool
+	// Delay stretches the operation's array busy time (erratic tR).
+	Delay sim.Duration
+	// Corrupt flips enough bits in the read data that every ECC
+	// codeword is uncorrectable (reads only).
+	Corrupt bool
+}
+
+// FaultInjector is the hook a fault plan installs on a LUN via
+// SetFaults. The LUN consults it at the start of each array operation;
+// the injector decides deterministically (no wall clock, no global
+// RNG) whether and how to perturb it. OnReset is consulted when a
+// RESET lands and reports whether the LUN stays stuck afterwards — a
+// persistent hardware failure the controller can only offline.
+type FaultInjector interface {
+	OnRead(now sim.Time, row uint32) FaultOutcome
+	OnProgram(now sim.Time, row uint32) FaultOutcome
+	OnErase(now sim.Time, block int) FaultOutcome
+	OnReset(now sim.Time) (stillStuck bool)
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector. The
+// no-injector path costs one nil check per array operation.
+func (l *LUN) SetFaults(fi FaultInjector) { l.faults = fi }
+
+// stuckUntil is the busy horizon of a stuck LUN: far enough in the
+// future that no simulation reaches it, small enough that Time
+// arithmetic cannot overflow.
+const stuckUntil = sim.Time(1) << 62
+
+// corruptBeyondECC deterministically flips four spread-out bits in
+// every 512-byte codeword of dst, defeating SEC-DED correction (which
+// handles one flip and detects two). Positions derive from the row so
+// repeated reads of the same page corrupt identically.
+func corruptBeyondECC(row uint32, dst []byte) {
+	h := fnv.New32a()
+	h.Write([]byte{byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24), 0xEC})
+	seed := h.Sum32()
+	const cw = 512
+	for base := 0; base < len(dst); base += cw {
+		n := len(dst) - base
+		if n > cw {
+			n = cw
+		}
+		for i := uint32(0); i < 4; i++ {
+			// Splitmix-style spread keeps the four positions distinct in
+			// practice; coincident picks just reduce the flip count, and
+			// even two flips stay uncorrectable.
+			x := seed ^ (uint32(base) * 0x9E3779B9) ^ (i * 0x85EBCA6B)
+			x ^= x >> 16
+			x *= 0x7FEB352D
+			x ^= x >> 15
+			bit := int(x % uint32(n*8))
+			dst[base+bit/8] ^= 1 << (bit % 8)
+		}
+	}
+}

@@ -80,6 +80,10 @@ const tSuspend = 20 * sim.Microsecond
 // tResetIdle is the RESET busy time from an idle state.
 const tResetIdle = 5 * sim.Microsecond
 
+// TResetAbort is the RESET busy time when an array operation must be
+// aborted — the worst-case RESET latency a recovery flow waits out.
+const TResetAbort = 500 * sim.Microsecond
+
 // tParamPage is the array time to fetch the parameter page.
 const tParamPage = 25 * sim.Microsecond
 
@@ -187,6 +191,9 @@ type LUN struct {
 	// Failure flags surfaced in the status register.
 	failLast bool
 	failPrev bool
+
+	// faults, when non-nil, perturbs array operations (see fault.go).
+	faults FaultInjector
 
 	// Stats.
 	stats Stats
@@ -602,13 +609,24 @@ func (l *LUN) startRead(now sim.Time, cache bool) error {
 		l.pslcNext = false
 	}
 	tr = l.jitterFor(row, tr)
+	var fo FaultOutcome
+	if l.faults != nil {
+		fo = l.faults.OnRead(now, row)
+		tr += fo.Delay
+	}
 	l.curOp = arrRead
 	l.curRow = row
 	l.cacheRow = row
 	l.loadPending = true
 	l.readArrayInto(row, l.loadBuf)
+	if fo.Corrupt {
+		corruptBeyondECC(row, l.loadBuf)
+	}
 	l.loadData = l.loadBuf
 	l.arrayBusyUntil = now.Add(tr)
+	if fo.Stuck {
+		l.arrayBusyUntil = stuckUntil
+	}
 	if cache {
 		// Cache confirm: page goes to cache register when loaded, and
 		// the LUN stays RDY for data transfer of the *previous* page.
@@ -677,9 +695,17 @@ func (l *LUN) startProgram(now sim.Time, cached bool) error {
 		l.pslcNext = false
 	}
 	tp = l.jitterFor(row, tp)
+	var fo FaultOutcome
+	if l.faults != nil {
+		fo = l.faults.OnProgram(now, row)
+		tp += fo.Delay
+	}
 	l.failPrev = l.failLast
 	l.failLast = false
 	switch {
+	case fo.Fail:
+		// Injected program failure: StatusFail, array unchanged.
+		l.failLast = true
 	case l.bad[block]:
 		l.failLast = true
 	case l.programmed[row]:
@@ -691,7 +717,10 @@ func (l *LUN) startProgram(now sim.Time, cached bool) error {
 	l.curOp = arrProgram
 	l.curRow = row
 	l.arrayBusyUntil = now.Add(tp)
-	if cached {
+	if fo.Stuck {
+		l.arrayBusyUntil = stuckUntil
+	}
+	if cached && !fo.Stuck {
 		l.busyUntil = now.Add(3 * sim.Microsecond) // register handoff only
 	} else {
 		l.busyUntil = l.arrayBusyUntil
@@ -711,12 +740,19 @@ func (l *LUN) startErase(now sim.Time) error {
 	}
 	l.failPrev = l.failLast
 	l.failLast = false
+	var fo FaultOutcome
+	if l.faults != nil {
+		fo = l.faults.OnErase(now, row.Block)
+	}
 	rows := append(append([]onfi.RowAddr{}, l.mp.eraseRows...), row)
 	l.mp.eraseRows = nil
 	var worst sim.Duration
 	for _, r := range rows {
 		block := r.Block
-		if l.bad[block] {
+		if fo.Fail && block == row.Block {
+			// Injected erase failure: StatusFail, block unchanged.
+			l.failLast = true
+		} else if l.bad[block] {
 			l.failLast = true
 		} else {
 			l.eraseCount[block]++
@@ -739,7 +775,10 @@ func (l *LUN) startErase(now sim.Time) error {
 	l.stats.Erases-- // the shared accounting below counts one
 	l.curOp = arrErase
 	l.curRow = uint32(row.Block) * uint32(l.geo.PagesPerBlk)
-	l.arrayBusyUntil = now.Add(worst)
+	l.arrayBusyUntil = now.Add(worst + fo.Delay)
+	if fo.Stuck {
+		l.arrayBusyUntil = stuckUntil
+	}
 	l.busyUntil = l.arrayBusyUntil
 	l.dec = decIdle
 	l.stats.Erases++
@@ -749,7 +788,7 @@ func (l *LUN) startErase(now sim.Time) error {
 func (l *LUN) reset(now sim.Time) error {
 	d := tResetIdle
 	if !l.Ready(now) {
-		d = 500 * sim.Microsecond // abort in progress
+		d = TResetAbort // abort in progress
 	}
 	l.dec = decIdle
 	l.out = outNone
@@ -765,6 +804,12 @@ func (l *LUN) reset(now sim.Time) error {
 	l.powerOnFeatures()
 	l.busyUntil = now.Add(d)
 	l.arrayBusyUntil = l.busyUntil
+	if l.faults != nil && l.faults.OnReset(now) {
+		// Persistent hardware failure: the LUN never comes back from
+		// RESET. The controller's only remaining move is offlining it.
+		l.busyUntil = stuckUntil
+		l.arrayBusyUntil = stuckUntil
+	}
 	return nil
 }
 

@@ -94,6 +94,27 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// WorstCaseBusy reports the longest interval this package may legally
+// hold R/B# busy after accepting a command: the slowest array
+// operation (normally tBERS) stretched by the jitter bound, but never
+// less than the RESET-abort time — the poll-budget derivation in
+// internal/onfi sizes status-poll loops from it, so a healthy package
+// must always come ready well inside this bound.
+func (p Params) WorstCaseBusy() sim.Duration {
+	worst := p.TR
+	if p.TPROG > worst {
+		worst = p.TPROG
+	}
+	if p.TBERS > worst {
+		worst = p.TBERS
+	}
+	worst += sim.Duration(int64(worst) * int64(p.JitterPct) / 100)
+	if worst < TResetAbort {
+		worst = TResetAbort
+	}
+	return worst
+}
+
 // defaultGeometry is the 16-KiB-page TLC geometry shared by the paper's
 // three modules (Table I lists a 16384-B page read size for all of them).
 func defaultGeometry() onfi.Geometry {

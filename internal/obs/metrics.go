@@ -76,6 +76,10 @@ type ChipMetrics struct {
 	// BusyTime is the channel occupancy attributed to this chip's
 	// transactions.
 	BusyTime sim.Duration
+	// Faults counts injected fault hits on this chip (KindFault);
+	// Recoveries counts recovery actions taken against it (KindRecovery).
+	Faults     uint64
+	Recoveries uint64
 }
 
 // ChannelMetrics aggregates one channel's activity.
@@ -131,6 +135,16 @@ type Snapshot struct {
 	// (picoseconds).
 	OpLatency Histogram
 
+	// Faults counts injected fault hits; FaultsByLabel breaks them down
+	// by campaign (stuck-busy, fail-storm, ecc-burst, tr-jitter).
+	Faults        uint64
+	FaultsByLabel map[string]uint64
+	// Recoveries counts recovery actions; RecoveriesByLabel breaks them
+	// down by action (reset, reset-recovered, chip-dead, chip-offline,
+	// read-only).
+	Recoveries        uint64
+	RecoveriesByLabel map[string]uint64
+
 	Channels map[int]ChannelMetrics
 	Chips    map[ChipKey]ChipMetrics
 }
@@ -165,6 +179,9 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "events=%d span=%v sw=%v hw=%v sw%%=%.1f ops=%d/%d-failed txns=%d polls=%d waits=%d",
 		s.Events, s.Span(), s.SoftwareTime, s.HardwareTime, 100*s.SoftwareShare(),
 		s.OpsFinished, s.OpsFailed, s.TxnsExecuted, s.PollResubmits, s.AdmissionWaits)
+	if s.Faults > 0 || s.Recoveries > 0 {
+		fmt.Fprintf(&b, " faults=%d recoveries=%d", s.Faults, s.Recoveries)
+	}
 	if len(s.Charges) > 0 {
 		labels := make([]string, 0, len(s.Charges))
 		for l := range s.Charges {
@@ -209,6 +226,11 @@ type Metrics struct {
 	queueDepth Histogram
 	opLatency  Histogram
 
+	faults     uint64
+	faultsBy   map[string]uint64
+	recoveries uint64
+	recovsBy   map[string]uint64
+
 	channels map[int]*ChannelMetrics
 	chips    map[ChipKey]*ChipMetrics
 }
@@ -217,6 +239,8 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		charges:  make(map[string]ChargeStats),
+		faultsBy: make(map[string]uint64),
+		recovsBy: make(map[string]uint64),
 		channels: make(map[int]*ChannelMetrics),
 		chips:    make(map[ChipKey]*ChipMetrics),
 	}
@@ -287,6 +311,14 @@ func (m *Metrics) Event(e Event) {
 	case KindHWInstr:
 		// Instruction-level detail stays in the raw stream; the
 		// transaction events already carry the aggregate occupancy.
+	case KindFault:
+		m.faults++
+		m.faultsBy[e.Label]++
+		m.chip(e).Faults++
+	case KindRecovery:
+		m.recoveries++
+		m.recovsBy[e.Label]++
+		m.chip(e).Recoveries++
 	}
 }
 
@@ -313,31 +345,41 @@ func (m *Metrics) channel(e Event) *ChannelMetrics {
 // programmatic reads.
 func (m *Metrics) Snapshot() Snapshot {
 	out := Snapshot{
-		Events:         m.events,
-		FirstEvent:     m.firstEvent,
-		LastEvent:      m.lastEvent,
-		SoftwareTime:   m.softwareTime,
-		SoftwareCycles: m.softwareCycles,
-		HardwareTime:   m.hardwareTime,
-		OpsAdmitted:    m.opsAdmitted,
-		OpsResumed:     m.opsResumed,
-		OpsFinished:    m.opsFinished,
-		OpsFailed:      m.opsFailed,
-		AdmissionWaits: m.admissionWaits,
-		GateOpens:      m.gateOpens,
-		PollResubmits:  m.pollResubmits,
-		TxnsEnqueued:   m.txnsEnqueued,
-		TxnsPopped:     m.txnsPopped,
-		TxnsExecuted:   m.txnsExecuted,
-		TxnBusTime:     m.txnBusTime,
-		QueueDepth:     m.queueDepth,
-		OpLatency:      m.opLatency,
-		Charges:        make(map[string]ChargeStats, len(m.charges)),
-		Channels:       make(map[int]ChannelMetrics, len(m.channels)),
-		Chips:          make(map[ChipKey]ChipMetrics, len(m.chips)),
+		Events:            m.events,
+		FirstEvent:        m.firstEvent,
+		LastEvent:         m.lastEvent,
+		SoftwareTime:      m.softwareTime,
+		SoftwareCycles:    m.softwareCycles,
+		HardwareTime:      m.hardwareTime,
+		OpsAdmitted:       m.opsAdmitted,
+		OpsResumed:        m.opsResumed,
+		OpsFinished:       m.opsFinished,
+		OpsFailed:         m.opsFailed,
+		AdmissionWaits:    m.admissionWaits,
+		GateOpens:         m.gateOpens,
+		PollResubmits:     m.pollResubmits,
+		TxnsEnqueued:      m.txnsEnqueued,
+		TxnsPopped:        m.txnsPopped,
+		TxnsExecuted:      m.txnsExecuted,
+		TxnBusTime:        m.txnBusTime,
+		QueueDepth:        m.queueDepth,
+		OpLatency:         m.opLatency,
+		Faults:            m.faults,
+		Recoveries:        m.recoveries,
+		Charges:           make(map[string]ChargeStats, len(m.charges)),
+		FaultsByLabel:     make(map[string]uint64, len(m.faultsBy)),
+		RecoveriesByLabel: make(map[string]uint64, len(m.recovsBy)),
+		Channels:          make(map[int]ChannelMetrics, len(m.channels)),
+		Chips:             make(map[ChipKey]ChipMetrics, len(m.chips)),
 	}
 	for k, v := range m.charges {
 		out.Charges[k] = v
+	}
+	for k, v := range m.faultsBy {
+		out.FaultsByLabel[k] = v
+	}
+	for k, v := range m.recovsBy {
+		out.RecoveriesByLabel[k] = v
 	}
 	for k, v := range m.channels {
 		out.Channels[k] = *v

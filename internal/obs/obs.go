@@ -59,6 +59,14 @@ const (
 	// KindHWInstr fires from the execution unit for each timed µFSM
 	// instruction; Label names the µFSM and Dur is its bus segment time.
 	KindHWInstr
+	// KindFault fires when an injected fault perturbs a NAND array
+	// operation (internal/fault); Label names the campaign
+	// (stuck-busy, fail-storm, ecc-burst, tr-jitter) and Chip the LUN.
+	KindFault
+	// KindRecovery fires when the controller or SSD takes a recovery
+	// action: Label is "reset" (poll budget exhausted, RESET issued),
+	// "reset-recovered", "chip-dead", "chip-offline", or "read-only".
+	KindRecovery
 )
 
 var kindNames = [...]string{
@@ -73,6 +81,8 @@ var kindNames = [...]string{
 	KindPollResubmit:  "poll-resubmit",
 	KindCPUCharge:     "cpu-charge",
 	KindHWInstr:       "hw-instr",
+	KindFault:         "fault",
+	KindRecovery:      "recovery",
 }
 
 func (k Kind) String() string {

@@ -143,3 +143,28 @@ func (t Timing) DataSegment(cfg BusConfig, n int) sim.Duration {
 	}
 	return t.TDQSS + cfg.DataTime(n) + t.TRPST
 }
+
+// pollBudgetSlack is the multiplier between "polls needed to span the
+// worst-case busy time at full bus speed" and the budget handed out.
+// Real poll loops run slower than back-to-back bus transactions (CPU
+// charges, channel contention), so the count over a healthy busy wait
+// always lands well under worst/per; the slack keeps a legitimately
+// slow part from ever being mistaken for a stuck one.
+const pollBudgetSlack = 4
+
+// PollBudget derives the status-poll budget for one busy wait: how
+// many READ STATUS transactions a controller may issue before it must
+// conclude the target is stuck and escalate to RESET recovery. One
+// poll costs a command latch segment, the tWHR turnaround, and a
+// one-byte data burst under cfg; the budget spans `worst` (the
+// package's worst-case busy time) with generous slack so a bounded
+// loop is behaviourally identical to an unbounded one on healthy
+// hardware.
+func (t Timing) PollBudget(cfg BusConfig, worst sim.Duration) int {
+	per := t.LatchSegment(1) + t.TWHR + t.DataSegment(cfg, 1)
+	if per <= 0 {
+		per = sim.Duration(1)
+	}
+	n := int64(worst) / int64(per)
+	return int(n)*pollBudgetSlack + 64
+}

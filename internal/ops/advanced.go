@@ -96,7 +96,8 @@ func ReadWithRetry(addr onfi.Addr, dramAddr, n int, verify func([]byte) bool) co
 			return verify(w), nil
 		}
 
-		// Attempt 0: whatever level the package is currently at.
+		// Attempt 0: the power-on default level — the level every other
+		// read in the system assumes, so nothing to restore on success.
 		if err := read(); err != nil {
 			return err
 		}
@@ -105,7 +106,13 @@ func ReadWithRetry(addr onfi.Addr, dramAddr, n int, verify func([]byte) bool) co
 		} else if ok {
 			return nil
 		}
-		// Walk the retry table.
+		// Walk the retry table. Whatever happens from here on, the
+		// package must leave at the default level: a parked retry level
+		// skews the error injection of every subsequent read on this
+		// LUN (nand's retryMismatch), silently degrading healthy pages.
+		restore := func() error {
+			return setFeature(ctx, onfi.FeatReadRetry, [4]byte{})
+		}
 		for lvl := 0; lvl < levels; lvl++ {
 			if err := setFeature(ctx, onfi.FeatReadRetry, [4]byte{byte(lvl)}); err != nil {
 				return err
@@ -116,8 +123,11 @@ func ReadWithRetry(addr onfi.Addr, dramAddr, n int, verify func([]byte) bool) co
 			if ok, err := check(); err != nil {
 				return err
 			} else if ok {
-				return nil
+				return restore()
 			}
+		}
+		if err := restore(); err != nil {
+			return err
 		}
 		return fmt.Errorf("ops: read retry exhausted %d levels at %+v", levels, addr.Row)
 	}
@@ -152,9 +162,15 @@ func GangRead(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
-		// Poll the replicas round-robin; first ready wins.
+		// Poll the replicas round-robin; first ready wins. The loop is
+		// bounded like every poll loop: all replicas stuck past the
+		// budget means no winner will ever emerge.
 		winner := -1
-		for winner < 0 {
+		budget := pollBudget(ctx)
+		for round := 0; winner < 0; round++ {
+			if round >= budget {
+				return fmt.Errorf("ops: gang read %v: %w", replicas, ErrStuckBusy)
+			}
 			for _, c := range replicas {
 				s, err := ReadStatus(ctx, c)
 				if err != nil {
@@ -200,20 +216,15 @@ func GangProgram(replicas []int, addr onfi.Addr, dramAddr, n int) core.OpFunc {
 		if res := ctx.Submit(); res.Err != nil {
 			return res.Err
 		}
-		// All replicas must finish cleanly.
+		// All replicas must finish cleanly; each wait is bounded with
+		// RESET escalation like any single-chip poll.
 		for _, c := range replicas {
-			for {
-				s, err := ReadStatus(ctx, c)
-				if err != nil {
-					return err
-				}
-				if s&onfi.StatusRDY == 0 {
-					continue
-				}
-				if s&onfi.StatusFail != 0 {
-					return fmt.Errorf("ops: gang program FAIL on chip %d", c)
-				}
-				break
+			s, err := pollReady(ctx, c)
+			if err != nil {
+				return err
+			}
+			if s&onfi.StatusFail != 0 {
+				return fmt.Errorf("ops: gang program FAIL on chip %d", c)
 			}
 		}
 		return nil

@@ -56,7 +56,11 @@ func InterruptibleErase(block int, next func() (UrgentRead, bool)) core.OpFunc {
 			checkSlice = 10 * sim.Microsecond
 		}
 
-		for {
+		// A busy wait paced by sleeps is still a poll loop: bound the
+		// status checks by the worst-case busy time (suspend/serve
+		// excursions reset nothing — each check advances checkSlice).
+		budget := sleepPollBudget(ctx, checkSlice)
+		for checks := 0; ; {
 			// Serve any urgent reads first.
 			if ur, ok := next(); ok {
 				if err := suspendAndServe(ctx, chip, g, ur, next); err != nil {
@@ -75,9 +79,23 @@ func InterruptibleErase(block int, next func() (UrgentRead, bool)) core.OpFunc {
 				}
 				return nil
 			}
+			if checks++; checks >= budget {
+				return recoverStuck(ctx, chip)
+			}
 			ctx.Sleep(checkSlice)
 		}
 	}
+}
+
+// sleepPollBudget bounds a sleep-paced poll loop: enough checkSlice
+// steps to span the package's worst-case busy time, with the same
+// slack philosophy as onfi.Timing.PollBudget.
+func sleepPollBudget(ctx *core.Ctx, checkSlice sim.Duration) int {
+	if checkSlice <= 0 {
+		checkSlice = sim.Duration(1)
+	}
+	n := int64(ctx.Params().WorstCaseBusy()) / int64(checkSlice)
+	return int(n)*4 + 64
 }
 
 // suspendAndServe suspends the in-flight erase, runs ur plus any other
@@ -174,7 +192,8 @@ func InterruptibleProgram(addr onfi.Addr, dramAddr, n int, next func() (UrgentRe
 		if checkSlice < 10*sim.Microsecond {
 			checkSlice = 10 * sim.Microsecond
 		}
-		for {
+		budget := sleepPollBudget(ctx, checkSlice)
+		for checks := 0; ; {
 			if ur, ok := next(); ok {
 				if err := suspendAndServe(ctx, chip, g, ur, next); err != nil {
 					return err
@@ -190,6 +209,9 @@ func InterruptibleProgram(addr onfi.Addr, dramAddr, n int, next func() (UrgentRe
 					return fmt.Errorf("ops: interruptible program at %+v reported FAIL", addr.Row)
 				}
 				return nil
+			}
+			if checks++; checks >= budget {
+				return recoverStuck(ctx, chip)
 			}
 			ctx.Sleep(checkSlice)
 		}

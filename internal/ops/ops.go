@@ -37,32 +37,19 @@ func ReadStatus(ctx *core.Ctx, chip int) (byte, error) {
 // pollReady polls READ STATUS until the chip reports ready (Algorithm 2
 // lines 7..9: SSD Architects poll for the end of tR rather than use a
 // fixed wait, because tR is highly variable). It returns the final
-// status byte so callers can inspect FAIL bits.
+// status byte so callers can inspect FAIL bits. The loop is bounded:
+// a chip busy past the package's worst-case time escalates to RESET
+// recovery (see recovery.go).
 func pollReady(ctx *core.Ctx, chip int) (byte, error) {
-	for {
-		s, err := ReadStatus(ctx, chip)
-		if err != nil {
-			return 0, err
-		}
-		if s&onfi.StatusRDY != 0 {
-			return s, nil
-		}
-	}
+	return pollStatus(ctx, chip, onfi.StatusRDY)
 }
 
 // pollArrayReady polls READ STATUS until the flash array itself is idle
 // (ARDY). Cache operations key off ARDY rather than RDY: the LUN stays
-// RDY for cache-register transfers while the array fetches the next page.
+// RDY for cache-register transfers while the array fetches the next
+// page. Bounded like pollReady.
 func pollArrayReady(ctx *core.Ctx, chip int) (byte, error) {
-	for {
-		s, err := ReadStatus(ctx, chip)
-		if err != nil {
-			return 0, err
-		}
-		if s&onfi.StatusARDY != 0 {
-			return s, nil
-		}
-	}
+	return pollStatus(ctx, chip, onfi.StatusARDY)
 }
 
 // appendReadLatches appends the READ.1 + 5-address + confirm burst to

@@ -1,0 +1,81 @@
+// Bounded polling and RESET recovery. The paper's Algorithm 1 polls
+// READ STATUS in an open loop; against healthy hardware that is fine,
+// but one stuck-busy LUN would livelock the whole rig. Every poll
+// loop in this package therefore runs under a budget derived from the
+// package's worst-case busy time (onfi.Timing.PollBudget): a chip
+// still busy past the budget is escalated to an ONFI RESET, and a chip
+// that stays busy through the RESET is declared dead so the SSD layer
+// can offline it. Callers distinguish the outcomes with errors.Is.
+
+package ops
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/onfi"
+)
+
+// ErrStuckBusy reports a poll loop that exhausted its budget where
+// RESET escalation is not applicable (gang polls spanning chips).
+var ErrStuckBusy = errors.New("chip stuck busy past poll budget")
+
+// ErrResetRecovered reports that a stuck chip came back after an ONFI
+// RESET: the in-flight operation was aborted by the reset and must be
+// reissued, but the chip is usable again.
+var ErrResetRecovered = errors.New("chip recovered by RESET; operation aborted")
+
+// ErrChipDead reports a chip that stayed busy through a RESET — the
+// controller has no further recovery and the chip must be offlined.
+var ErrChipDead = errors.New("chip unresponsive after RESET recovery")
+
+// pollBudget derives the status-poll budget for the running
+// operation's package and channel configuration.
+func pollBudget(ctx *core.Ctx) int {
+	ch := ctx.Controller().Channel()
+	return ch.Timing().PollBudget(ch.Config(), ctx.Params().WorstCaseBusy())
+}
+
+// pollStatus polls READ STATUS until the given status bit asserts,
+// escalating to RESET recovery when the budget runs out. On success it
+// returns the final status byte; every error return means the
+// operation must abort.
+func pollStatus(ctx *core.Ctx, chip int, bit byte) (byte, error) {
+	for i, budget := 0, pollBudget(ctx); i < budget; i++ {
+		s, err := ReadStatus(ctx, chip)
+		if err != nil {
+			return 0, err
+		}
+		if s&bit != 0 {
+			return s, nil
+		}
+	}
+	return 0, recoverStuck(ctx, chip)
+}
+
+// recoverStuck is the escalation path for a chip that blew its poll
+// budget: issue RESET (legal while busy), wait out the abort time
+// under a fresh budget, and classify the result. The return is always
+// non-nil — even a successful RESET aborted the in-flight operation.
+func recoverStuck(ctx *core.Ctx, chip int) error {
+	ctx.Recovery("reset")
+	ctx.Chip(bus.Mask(chip))
+	ctx.Cmd(onfi.CmdReset)
+	if res := ctx.Submit(); res.Err != nil {
+		return res.Err
+	}
+	for i, budget := 0, pollBudget(ctx); i < budget; i++ {
+		s, err := ReadStatus(ctx, chip)
+		if err != nil {
+			return err
+		}
+		if s&onfi.StatusRDY != 0 {
+			ctx.Recovery("reset-recovered")
+			return fmt.Errorf("ops: chip %d: %w", chip, ErrResetRecovered)
+		}
+	}
+	ctx.Recovery("chip-dead")
+	return fmt.Errorf("ops: chip %d: %w", chip, ErrChipDead)
+}

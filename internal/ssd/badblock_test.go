@@ -1,9 +1,12 @@
 package ssd
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/hic"
+	"repro/internal/ops"
 )
 
 // TestGrownBadBlocksAreTransparent marks several factory-bad blocks and
@@ -80,5 +83,114 @@ func TestRetireBlockBookkeeping(t *testing.T) {
 	f.RetireBlock(99, 0)  // no-ops
 	if err := f.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSpareExhaustionDegradesToReadOnly grinds a one-chip drive's
+// spares down with a persistent program/erase fail storm: every program
+// FAILs, every failure retires a block, and once nothing is left the
+// drive must degrade to read-only — writes fail with ErrReadOnly, reads
+// keep being served — instead of wedging with writes parked forever.
+func TestSpareExhaustionDegradesToReadOnly(t *testing.T) {
+	cfg := smallBuild(CtrlBabolRTOS)
+	cfg.Ways = 1
+	cfg.Faults = &fault.Plan{FailStorms: []fault.FailStorm{{Chip: 0, FirstOp: 0, Count: 0}}}
+	rig := mustBuild(t, cfg)
+	const preloaded = 8
+	if err := rig.SSD.Preload(preloaded); err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 20
+	var terminated, failed, readOnly int
+	for i := 0; i < writes; i++ {
+		rig.SSD.Submit(hic.Command{Kind: hic.KindWrite, LPN: preloaded + i, Done: func(err error) {
+			terminated++
+			if err != nil {
+				failed++
+			}
+			if errors.Is(err, ErrReadOnly) {
+				readOnly++
+			}
+		}})
+	}
+	rig.Kernel.Run()
+
+	if terminated != writes {
+		t.Fatalf("only %d/%d writes terminated: the drive wedged", terminated, writes)
+	}
+	if failed != writes {
+		t.Fatalf("%d writes succeeded against a persistent fail storm", writes-failed)
+	}
+	if !rig.SSD.Stats().ReadOnly {
+		t.Fatal("spares exhausted but the drive never entered read-only mode")
+	}
+	if readOnly == 0 {
+		t.Error("no write failed with ErrReadOnly")
+	}
+
+	// A write submitted after degradation fails fast with ErrReadOnly.
+	var lateErr error
+	rig.SSD.Submit(hic.Command{Kind: hic.KindWrite, LPN: preloaded, Done: func(err error) { lateErr = err }})
+	rig.Kernel.Run()
+	if !errors.Is(lateErr, ErrReadOnly) {
+		t.Fatalf("write after degradation returned %v, want ErrReadOnly", lateErr)
+	}
+
+	// Reads still drain in read-only mode.
+	for lpn := 0; lpn < preloaded; lpn++ {
+		done, rerr := false, error(nil)
+		rig.SSD.Submit(hic.Command{Kind: hic.KindRead, LPN: lpn, Done: func(err error) { done, rerr = true, err }})
+		rig.Kernel.Run()
+		if !done {
+			t.Fatalf("read of LPN %d never terminated in read-only mode", lpn)
+		}
+		if rerr != nil {
+			t.Fatalf("read of LPN %d in read-only mode: %v", lpn, rerr)
+		}
+	}
+	if err := rig.FTL.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUrgentQueueSteadyStateDoesNotGrow is the regression for the
+// reslicing pop: q.items = q.items[1:] discarded the popped slot's
+// capacity, so a long-lived queue reallocated its backing array on
+// nearly every push. The head-index pop must reuse the array instead.
+func TestUrgentQueueSteadyStateDoesNotGrow(t *testing.T) {
+	q := &urgentQueue{}
+	for i := 0; i < 1000; i++ {
+		q.push(ops.UrgentRead{DramAddr: i})
+		ur, ok := q.next()
+		if !ok || ur.DramAddr != i {
+			t.Fatalf("cycle %d popped %+v %v", i, ur, ok)
+		}
+	}
+	if c := cap(q.items); c > 8 {
+		t.Fatalf("backing array grew to %d entries over steady-state churn", c)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		q.push(ops.UrgentRead{})
+		q.next()
+	}); avg > 0.01 {
+		t.Fatalf("steady-state push/pop allocates %.2f times per cycle", avg)
+	}
+
+	// FIFO order holds across a batch and the queue resets on drain.
+	for i := 0; i < 5; i++ {
+		q.push(ops.UrgentRead{DramAddr: i})
+	}
+	for i := 0; i < 5; i++ {
+		ur, ok := q.next()
+		if !ok || ur.DramAddr != i {
+			t.Fatalf("FIFO broken at %d: %+v %v", i, ur, ok)
+		}
+	}
+	if _, ok := q.next(); ok {
+		t.Fatal("empty queue popped an element")
+	}
+	if q.head != 0 || len(q.items) != 0 {
+		t.Fatalf("queue did not reset on drain: head=%d len=%d", q.head, len(q.items))
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/hwctrl"
 	"repro/internal/nand"
@@ -73,6 +74,10 @@ type BuildConfig struct {
 	// Observe additionally aggregates the event stream into Rig.Metrics
 	// (it composes with Tracer: both sinks see every event).
 	Observe bool
+	// Faults, when non-nil, arms the plan's campaigns on the LUNs they
+	// target (global chip numbering: channel*Ways + way). Fault hits are
+	// emitted as obs.KindFault events on the targeted chip's channel.
+	Faults *fault.Plan
 }
 
 // Rig is a fully wired SSD plus handles to its parts. The singular
@@ -167,6 +172,11 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			if err != nil {
 				return nil, err
 			}
+			if cfg.Faults != nil {
+				if inj := cfg.Faults.Injector(c*cfg.Ways+i, obs.OnChannel(tracer, c), i); inj != nil {
+					lun.SetFaults(inj)
+				}
+			}
 			ch.Attach(lun)
 		}
 		rig.Channels = append(rig.Channels, ch)
@@ -216,6 +226,7 @@ func Build(cfg BuildConfig) (*Rig, error) {
 		Kernel: k, Backend: backend, FTL: f, DRAM: mem,
 		SlotBase: 0, Slots: cfg.Slots, WithECC: cfg.WithECC,
 		UseCopyback: cfg.UseCopyback, SuspendReads: cfg.SuspendReads,
+		Tracer: tracer,
 	})
 	if err != nil {
 		return nil, err

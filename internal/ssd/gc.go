@@ -1,5 +1,11 @@
 package ssd
 
+import (
+	"errors"
+
+	"repro/internal/ops"
+)
+
 // Garbage collection: when a chip dips below its free-block watermark,
 // the SSD picks the emptiest sealed block (greedy, via the FTL), copies
 // its live pages to fresh locations through the controller, and erases
@@ -29,9 +35,20 @@ func (s *SSD) maybeGC(chip int) {
 func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 	if idx >= len(live) {
 		done := func(err error) {
-			if err == nil {
+			switch {
+			case err == nil:
 				s.ftl.OnErased(chip, victim)
-			} else {
+			case errors.Is(err, ops.ErrChipDead):
+				// The chip wedged mid-erase and RESET could not revive
+				// it: take the whole chip out of service (retiring one
+				// block on a dead chip would be moot).
+				s.offlineChip(chip)
+			case errors.Is(err, ops.ErrResetRecovered):
+				// The erase was aborted by RESET but the chip is healthy
+				// again; leave the victim sealed so a later pass re-picks
+				// and re-erases it.
+				s.stats.RecoveredOps++
+			default:
 				// The block failed to erase: retire it, or GC would
 				// re-pick the same victim forever.
 				s.ftl.RetireBlock(chip, victim)
@@ -87,21 +104,24 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 	// transfer when the controller supports it.
 	if s.useCopyback {
 		if cb, ok := s.backend.(Copybacker); ok {
-			dst, err := s.ftl.RelocateForGCOn(chip, lpn)
-			if err != nil {
-				s.gcRunning[chip] = false
+			if dst, err := s.ftl.RelocateForGCOn(chip, lpn); err == nil {
+				s.stats.GCCopybacks++
+				s.programStarted(lpn)
+				cb.CopybackPage(chip, src.Row, dst.Row, func(err error) {
+					if err != nil {
+						s.ftl.Invalidate(lpn)
+						if errors.Is(err, ops.ErrChipDead) {
+							s.offlineChip(chip)
+						}
+					}
+					s.programLanded(lpn)
+					s.gcMove(chip, victim, live, idx+1)
+				})
 				return
 			}
-			s.stats.GCCopybacks++
-			s.programStarted(lpn)
-			cb.CopybackPage(chip, src.Row, dst.Row, func(err error) {
-				if err != nil {
-					s.ftl.Invalidate(lpn)
-				}
-				s.programLanded(lpn)
-				s.gcMove(chip, victim, live, idx+1)
-			})
-			return
+			// No room for an intra-chip move (the chip's GC stream is out
+			// of space): fall through to the cross-chip slot path instead
+			// of silently abandoning the collection cycle mid-block.
 		}
 	}
 	s.acquireSlot(func(addr int) {
@@ -120,21 +140,53 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 				s.gcMove(chip, victim, live, idx+1)
 				return
 			}
-			dst, err := s.ftl.RelocateForGC(lpn)
-			if err != nil {
-				s.releaseSlot(addr)
-				s.gcRunning[chip] = false
-				return
-			}
-			s.programStarted(lpn)
-			s.backend.ProgramPage(dst.Chip, dst.Row, addr, n, func(err error) {
-				s.releaseSlot(addr)
+			var program func(attempt int)
+			program = func(attempt int) {
+				dst, err := s.ftl.RelocateForGC(lpn)
 				if err != nil {
-					s.ftl.Invalidate(lpn)
+					// No chip anywhere has room for GC writes: spares are
+					// exhausted drive-wide. Degrade to read-only instead of
+					// abandoning the cycle and leaving stalled writes
+					// parked forever.
+					s.releaseSlot(addr)
+					s.gcRunning[chip] = false
+					s.enterDegraded()
+					return
 				}
-				s.programLanded(lpn)
-				s.gcMove(chip, victim, live, idx+1)
-			})
+				s.programStarted(lpn)
+				s.backend.ProgramPage(dst.Chip, dst.Row, addr, n, func(err error) {
+					if err == nil {
+						s.programLanded(lpn)
+						s.releaseSlot(addr)
+						s.gcMove(chip, victim, live, idx+1)
+						return
+					}
+					s.ftl.Invalidate(lpn)
+					switch {
+					case errors.Is(err, ops.ErrChipDead):
+						s.offlineChip(dst.Chip)
+					case errors.Is(err, ops.ErrResetRecovered):
+						s.stats.RecoveredOps++
+					default:
+						s.ftl.RetireBlock(dst.Chip, dst.Row.Block)
+					}
+					if attempt+1 < maxProgramRetries {
+						// The data is still staged in the slot: retry the
+						// relocation elsewhere before landing this attempt,
+						// so the in-flight count never dips to zero
+						// mid-retry.
+						program(attempt + 1)
+						s.programLanded(lpn)
+						return
+					}
+					// Out of attempts: the page is dropped from the map
+					// rather than wedging the collection cycle.
+					s.programLanded(lpn)
+					s.releaseSlot(addr)
+					s.gcMove(chip, victim, live, idx+1)
+				})
+			}
+			program(0)
 		})
 	})
 }

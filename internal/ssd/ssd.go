@@ -7,6 +7,7 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dram"
@@ -14,10 +15,20 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/hic"
 	"repro/internal/nand"
+	"repro/internal/obs"
 	"repro/internal/onfi"
 	"repro/internal/ops"
 	"repro/internal/sim"
 )
+
+// ErrReadOnly reports a write rejected because the drive has degraded to
+// read-only mode: spare blocks are exhausted (or every chip is offline)
+// and no garbage is left to collect, so new data can never be placed.
+var ErrReadOnly = errors.New("ssd: drive is in read-only degraded mode")
+
+// ErrChipOffline reports an access to a chip removed from service after
+// a failed RESET recovery.
+var ErrChipOffline = errors.New("ssd: chip is offline")
 
 // Backend is the page-level controller interface the SSD drives. Both
 // the BABOL controller and the hardware baseline adapt to it.
@@ -53,6 +64,9 @@ type Config struct {
 	// erase suspension when the backend supports it — the tail-latency
 	// optimization of [23], [54].
 	SuspendReads bool
+	// Tracer, when non-nil, receives SSD-level recovery decisions (chip
+	// offlining, read-only degradation) as obs.KindRecovery events.
+	Tracer obs.Tracer
 }
 
 // Stats counts SSD-level activity.
@@ -64,6 +78,9 @@ type Stats struct {
 	UrgentReads    uint64 // reads served inside a suspended erase
 	ECCCorrections uint64
 	ECCFailures    uint64
+	RecoveredOps   uint64 // operations reissued after an ONFI RESET revived a wedged chip
+	OfflinedChips  uint64 // chips removed from service after recovery failed
+	ReadOnly       bool   // drive has degraded to read-only mode
 }
 
 // SSD is one simulated drive.
@@ -103,6 +120,13 @@ type SSD struct {
 	gcRunning    map[int]bool
 	useCopyback  bool
 	suspendReads bool
+	// offline marks chips removed from service after a failed RESET
+	// recovery: the FTL stops allocating there and reads fail fast.
+	offline map[int]bool
+	// degraded latches read-only mode: writes fail with ErrReadOnly,
+	// reads from surviving chips keep working.
+	degraded bool
+	tracer   obs.Tracer
 	// eraseQueues holds urgent reads for chips with a suspendable erase
 	// in flight.
 	eraseQueues map[int]*urgentQueue
@@ -146,6 +170,8 @@ func New(cfg Config) (*SSD, error) {
 		slotSize:     slotSize,
 		slotBase:     cfg.SlotBase,
 		gcRunning:    make(map[int]bool),
+		offline:      make(map[int]bool),
+		tracer:       cfg.Tracer,
 
 		inflightPrograms: make(map[int]int),
 		programWaiters:   make(map[int][]func()),
@@ -212,6 +238,10 @@ func (s *SSD) read(cmd hic.Command) {
 		s.complete(cmd, nil)
 		return
 	}
+	if s.offline[loc.Chip] {
+		s.complete(cmd, fmt.Errorf("ssd: read of LPN %d: %w", cmd.LPN, ErrChipOffline))
+		return
+	}
 	r := s.getReadState()
 	r.cmd = cmd
 	r.loc = loc
@@ -226,6 +256,7 @@ type readState struct {
 	cmd      hic.Command
 	loc      ftl.Location
 	addr     int
+	retries  int
 	startFn  func(int)
 	finishFn func(error)
 }
@@ -261,36 +292,68 @@ func (r *readState) start(addr int) {
 	s.backend.ReadPage(r.loc.Chip, r.loc.Row, addr, n, r.finishFn)
 }
 
+// maxReadRetries bounds how many RESET-recovered reissues one host read
+// gets before the chip is declared unusable.
+const maxReadRetries = 3
+
 // finish completes the read: ECC check, slot release, state recycle,
 // host callback — recycled before the callback so a synchronously
-// chained read reuses this state.
+// chained read reuses this state. A read aborted by RESET recovery is
+// reissued (bounded); a dead chip is taken offline so later reads fail
+// fast instead of burning a recovery cycle each.
 func (r *readState) finish(err error) {
 	s := r.s
+	switch {
+	case err == nil:
+	case errors.Is(err, ops.ErrResetRecovered):
+		if r.retries+1 < maxReadRetries {
+			r.retries++
+			s.stats.RecoveredOps++
+			s.backend.ReadPage(r.loc.Chip, r.loc.Row, r.addr, s.pageBytes+s.parityBytes, r.finishFn)
+			return
+		}
+		s.offlineChip(r.loc.Chip)
+		err = fmt.Errorf("ssd: read wedged %d times on chip %d: %w", maxReadRetries, r.loc.Chip, ErrChipOffline)
+	case errors.Is(err, ops.ErrChipDead):
+		s.offlineChip(r.loc.Chip)
+		err = fmt.Errorf("ssd: read of chip %d: %w", r.loc.Chip, ErrChipOffline)
+	}
 	if err == nil && s.withECC {
 		err = s.decodeECC(r.addr)
 	}
 	s.releaseSlot(r.addr)
 	cmd := r.cmd
 	r.cmd = hic.Command{}
+	r.retries = 0
 	s.freeReads = append(s.freeReads, r)
 	s.complete(cmd, err)
 }
 
 // urgentQueue feeds latency-critical reads to an interruptible erase.
+// Pops advance a head index instead of reslicing away the front, so the
+// backing array is reused once the queue drains rather than growing by
+// every element ever pushed over the queue's lifetime.
 type urgentQueue struct {
 	items []ops.UrgentRead
+	head  int
 }
 
 func (q *urgentQueue) push(ur ops.UrgentRead) { q.items = append(q.items, ur) }
 
 // next pops the oldest urgent read; the erase operation calls it.
 func (q *urgentQueue) next() (ops.UrgentRead, bool) {
-	if len(q.items) == 0 {
+	if q.head >= len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
 		return ops.UrgentRead{}, false
 	}
-	ur := q.items[0]
-	q.items[0] = ops.UrgentRead{}
-	q.items = q.items[1:]
+	ur := q.items[q.head]
+	q.items[q.head] = ops.UrgentRead{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return ur, true
 }
 
@@ -361,6 +424,10 @@ func (s *SSD) awaitProgram(lpn int, fn func()) {
 // write expects the host payload to already be staged by the caller; the
 // generator model writes a deterministic pattern derived from the LPN.
 func (s *SSD) write(cmd hic.Command) {
+	if s.degraded {
+		s.complete(cmd, ErrReadOnly)
+		return
+	}
 	s.acquireSlot(func(addr int) {
 		if err := s.stagePattern(addr, cmd.LPN); err != nil {
 			s.releaseSlot(addr)
@@ -380,9 +447,16 @@ const maxProgramRetries = 3
 func (s *SSD) programWithRetry(cmd hic.Command, addr, attempt int) {
 	loc, err := s.ftl.AllocateWrite(cmd.LPN)
 	if err != nil {
+		s.releaseSlot(addr)
+		if s.degraded {
+			// The drive already gave up on finding space; a write that
+			// was mid-flight (holding a slot) when the mode latched must
+			// fail like every other, not park forever.
+			s.complete(cmd, ErrReadOnly)
+			return
+		}
 		// Out of space: park the command and let GC free blocks —
 		// a real drive back-pressures the host rather than failing.
-		s.releaseSlot(addr)
 		s.stalledWrites = append(s.stalledWrites, cmd)
 		s.kickGC()
 		return
@@ -398,7 +472,16 @@ func (s *SSD) programWithRetry(cmd hic.Command, addr, attempt int) {
 			return
 		}
 		s.ftl.Invalidate(cmd.LPN)
-		s.ftl.RetireBlock(loc.Chip, loc.Row.Block)
+		switch {
+		case errors.Is(err, ops.ErrChipDead):
+			s.offlineChip(loc.Chip)
+		case errors.Is(err, ops.ErrResetRecovered):
+			// The chip wedged and a RESET revived it; the block is not
+			// implicated, so retry elsewhere without retiring it.
+			s.stats.RecoveredOps++
+		default:
+			s.ftl.RetireBlock(loc.Chip, loc.Row.Block)
+		}
 		if attempt+1 < maxProgramRetries {
 			// Start the retry's program before retiring this one so the
 			// in-flight count never dips to zero mid-retry (a parked GC
@@ -438,12 +521,58 @@ func (s *SSD) kickGC() {
 		}
 	}
 	if !started && len(s.stalledWrites) > 0 {
-		stalled := s.stalledWrites
-		s.stalledWrites = nil
-		for _, cmd := range stalled {
-			s.complete(cmd, fmt.Errorf("ssd: out of space and no garbage to collect"))
+		// No chip can collect and nothing is left to seal: the drive is
+		// genuinely out of usable space. Degrade to read-only rather
+		// than wedging — parked writes fail with ErrReadOnly and reads
+		// of everything already written keep being served.
+		s.enterDegraded()
+	}
+}
+
+// offlineChip removes a chip from service after recovery failed: the
+// FTL stops allocating there, future reads to it fail fast, and if
+// every chip is gone the drive degrades to read-only.
+func (s *SSD) offlineChip(chip int) {
+	if s.offline[chip] {
+		return
+	}
+	s.offline[chip] = true
+	s.stats.OfflinedChips++
+	s.ftl.OfflineChip(chip)
+	s.recoveryEvent(chip, "chip-offline")
+	for c := 0; c < s.ftl.Chips(); c++ {
+		if !s.offline[c] {
+			return
 		}
 	}
+	s.enterDegraded()
+}
+
+// enterDegraded latches read-only mode: every parked and future write
+// fails with ErrReadOnly, reads keep working, and the rig drains
+// instead of wedging on writes it can never place. Draining the parked
+// writes sits outside the latch guard on purpose — writes can stall
+// after the transition (they were mid-flight when it happened) and must
+// still be failed, every time.
+func (s *SSD) enterDegraded() {
+	if !s.degraded {
+		s.degraded = true
+		s.stats.ReadOnly = true
+		s.recoveryEvent(-1, "read-only")
+	}
+	stalled := s.stalledWrites
+	s.stalledWrites = nil
+	for _, cmd := range stalled {
+		s.complete(cmd, ErrReadOnly)
+	}
+}
+
+// recoveryEvent emits an SSD-level recovery decision to the tracer.
+func (s *SSD) recoveryEvent(chip int, label string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Event(obs.Event{Time: s.k.Now(), Kind: obs.KindRecovery, Chip: chip, Label: label})
 }
 
 // drainStalled retries writes parked on out-of-space after GC reclaimed
