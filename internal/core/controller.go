@@ -51,6 +51,17 @@ type Config struct {
 	// is off; every emission site is nil-guarded so the disabled path
 	// costs one branch.
 	Tracer obs.Tracer
+	// CoroPool recycles operation-coroutine goroutines across operations
+	// (see coro.Pool). A rig with several channel controllers shares one
+	// pool — all controllers run on the same kernel goroutine, so the
+	// pool's single-threaded contract holds. nil gives the controller a
+	// private pool, which Close then owns and closes.
+	CoroPool *coro.Pool
+	// DisableCoroPool forces one goroutine per operation (plain
+	// coro.New) — the reference path the pooled-determinism tests
+	// compare against. Pooling never changes virtual-time behavior;
+	// this switch exists to prove it.
+	DisableCoroPool bool
 }
 
 // OpRequest is a request to run one operation, as the FTL would issue it.
@@ -105,11 +116,12 @@ type Controller struct {
 	scratch *scratchRing
 
 	// freeOps recycles finished opStates (with their Ctx, transaction
-	// box, latch arena, and pre-bound callbacks) so steady-state
-	// operation turnover allocates only the coroutine handshake. A state
-	// is recycled strictly after finishOp: at that point its coroutine
-	// has returned, its last transaction was delivered, and no kernel
-	// callback references it.
+	// box, latch arena, and pre-bound callbacks); together with the
+	// coroutine pool (which recycles the goroutine and handshake
+	// channels) steady-state operation turnover allocates nothing. A
+	// state is recycled strictly after finishOp: at that point its
+	// coroutine has returned, its last transaction was delivered, and no
+	// kernel callback references it.
 	freeOps []*opState
 
 	// Per-chip operation slots. Each chip runs one operation ("active")
@@ -124,6 +136,13 @@ type Controller struct {
 	chipStaged map[int]*opState
 	admitQ     []*opState
 	live       map[uint64]*opState
+
+	// pool recycles operation-coroutine goroutines; nil means pooling is
+	// disabled (one goroutine per operation). ownPool marks a pool the
+	// controller created itself and must close; a shared per-rig pool is
+	// closed by the rig.
+	pool    *coro.Pool
+	ownPool bool
 
 	dispatching bool // a software dispatch chain is in flight
 	hwArmed     bool // the hardware unit is waiting for/running a txn
@@ -177,6 +196,14 @@ func New(cfg Config) (*Controller, error) {
 		chipStaged: make(map[int]*opState),
 		live:       make(map[uint64]*opState),
 		tracer:     cfg.Tracer,
+	}
+	if !cfg.DisableCoroPool {
+		if cfg.CoroPool != nil {
+			c.pool = cfg.CoroPool
+		} else {
+			c.pool = coro.NewPool()
+			c.ownPool = true
+		}
 	}
 	c.scheduleFn = c.schedulePass
 	c.switchFn = c.switchPass
@@ -340,7 +367,11 @@ func (c *Controller) admitted(st *opState, slot string) {
 }
 
 func (c *Controller) activate(st *opState) {
-	st.co = coro.New(st.runFn)
+	if c.pool != nil {
+		st.co = c.pool.Get(st.runFn)
+	} else {
+		st.co = coro.New(st.runFn)
+	}
 	c.live[st.id] = st
 	c.makeRunnable(st, 0)
 }
@@ -673,8 +704,12 @@ func (c *Controller) deliver(st *opState, res txn.Result) {
 // goroutines, and neutralizes every kernel callback still scheduled
 // against them (transaction completions, sleep timers, pending CPU
 // work): a subsequent kernel drain is a no-op instead of resuming
-// aborted coroutines or mutating freed state. Close is idempotent; the
-// controller must not be used afterwards (Start becomes a no-op).
+// aborted coroutines or mutating freed state. A controller-owned
+// coroutine pool is closed too, so its parked workers exit and the
+// process goroutine count returns to baseline; a shared per-rig pool is
+// left for the rig to close after every controller on it has aborted
+// its operations. Close is idempotent; the controller must not be used
+// afterwards (Start becomes a no-op).
 func (c *Controller) Close() {
 	if c.closed {
 		return
@@ -682,6 +717,10 @@ func (c *Controller) Close() {
 	c.closed = true
 	for _, st := range c.live {
 		st.co.Abort()
+		st.co = nil
+	}
+	if c.ownPool {
+		c.pool.Close()
 	}
 	c.live = make(map[uint64]*opState)
 	c.admitQ = nil

@@ -11,12 +11,16 @@
 // Coroutines are backed by goroutines with a strict two-channel handshake.
 // The cost of a context switch in *virtual* time is charged separately by
 // the controller through cpumodel; the host-level goroutine switch is an
-// implementation detail.
+// implementation detail. Creating a goroutine per operation is not free,
+// though (~5 allocations and a few µs per New), which is why Pool exists:
+// a finished coroutine parks its goroutine on a free list and the next
+// Get reuses it with a fresh handshake, at resume-level cost.
 package coro
 
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 )
 
 // ErrAborted is the error a coroutine finishes with when Abort unwinds it
@@ -26,18 +30,38 @@ var ErrAborted = errors.New("coro: aborted")
 // abortSignal is the panic sentinel used to unwind an aborted coroutine.
 type abortSignal struct{}
 
-// Coroutine is a suspended computation. Create with New; drive with
-// Resume; dispose with Abort if abandoning it before completion.
+// Coroutine is a suspended computation. Create with New (one goroutine
+// per coroutine) or Pool.Get (recycled goroutines); drive with Resume;
+// dispose with Abort if abandoning it before completion.
+//
+// A pooled Coroutine handle is invalidated the moment it finishes (the
+// goroutine parks itself for reuse, and a later Pool.Get may hand the
+// same handle to a new owner). Resume and Abort on a finished handle
+// remain safe no-ops, but callers must drop the handle after observing
+// completion rather than stashing it.
 type Coroutine struct {
 	resume  chan struct{}
 	yielded chan struct{}
+	// y is the coroutine-side handle, embedded so reuse allocates
+	// nothing.
+	y Yielder
+
+	// fn is the body of the current run; Pool.Get installs a fresh one
+	// on reuse.
+	fn func(*Yielder) error
 
 	// The fields below are only touched by the side holding control, and
 	// control transfer happens via channel operations, so they need no
 	// locking.
 	finished bool
 	aborted  bool
-	err      error
+	// unwinding marks that the abortSignal panic is in flight: deferred
+	// cleanup that yields during the unwind runs synchronously (Yield
+	// becomes a no-op) instead of suspending a coroutine the driver is
+	// tearing down.
+	unwinding bool
+	stop      bool // tells a parked pooled worker to exit (Pool.Close)
+	err       error
 }
 
 // Yielder is the coroutine-side handle used to suspend.
@@ -45,35 +69,53 @@ type Yielder struct {
 	c *Coroutine
 }
 
-// New starts fn as a coroutine. fn does not run until the first Resume.
-func New(fn func(*Yielder) error) *Coroutine {
+func newCoroutine(fn func(*Yielder) error) *Coroutine {
 	c := &Coroutine{
 		resume:  make(chan struct{}),
 		yielded: make(chan struct{}),
+		fn:      fn,
 	}
-	y := &Yielder{c: c}
+	c.y.c = c
+	return c
+}
+
+// New starts fn as a one-shot coroutine: its goroutine exits when fn
+// completes. fn does not run until the first Resume. Hot paths that
+// create coroutines per operation should use a Pool instead.
+func New(fn func(*Yielder) error) *Coroutine {
+	c := newCoroutine(fn)
 	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSignal); ok {
-					c.err = ErrAborted
-				} else {
-					// Re-panicking here would kill the process on the
-					// coroutine's goroutine; surface it as an error the
-					// driver can report instead.
-					c.err = fmt.Errorf("coro: panic: %v", r)
-				}
-			}
-			c.finished = true
-			c.yielded <- struct{}{}
-		}()
 		<-c.resume
-		if c.aborted {
-			panic(abortSignal{})
-		}
-		c.err = fn(y)
+		c.err = c.runBody()
+		c.finished = true
+		c.yielded <- struct{}{}
 	}()
 	return c
+}
+
+// runBody executes the coroutine's function, converting an abort unwind
+// into ErrAborted and any other panic into an error that preserves the
+// goroutine's stack trace — a firmware panic inside an operation must
+// stay debuggable (the originating frame is in the error), not collapse
+// to a bare value.
+func (c *Coroutine) runBody() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				err = ErrAborted
+			} else {
+				// Re-panicking here would kill the process on the
+				// coroutine's goroutine; surface it as an error the
+				// driver can report instead.
+				err = fmt.Errorf("coro: panic: %v\n%s", r, debug.Stack())
+			}
+		}
+	}()
+	if c.aborted {
+		// Aborted before the body ever ran: finish without running fn.
+		return ErrAborted
+	}
+	return c.fn(&c.y)
 }
 
 // Resume transfers control to the coroutine until its next Yield or its
@@ -97,21 +139,38 @@ func (c *Coroutine) Err() error { return c.err }
 
 // Abort unwinds a suspended coroutine: its next wake-up panics through
 // all its deferred functions and the coroutine finishes with ErrAborted.
-// Aborting a finished coroutine is a no-op.
+// Abort resumes the coroutine until it actually finishes — a deferred
+// function that yields during the unwind (cleanup that suspends) is
+// driven through its suspensions instead of being abandoned mid-unwind
+// with its goroutine parked forever. Aborting a finished coroutine is a
+// no-op.
 func (c *Coroutine) Abort() {
 	if c.finished {
 		return
 	}
 	c.aborted = true
-	c.Resume()
+	for !c.finished {
+		c.Resume()
+	}
 }
 
 // Yield suspends the coroutine until the next Resume.
+//
+// During an abort unwind — after Abort's panic is already in flight —
+// Yield returns immediately instead of suspending: a deferred function
+// that suspends mid-cleanup runs to completion synchronously rather
+// than parking the goroutine against resumes that will never come.
+// Coroutine bodies must not recover the abort's panic; swallowing it
+// leaves the coroutine in this non-suspending mode.
 func (y *Yielder) Yield() {
 	c := y.c
+	if c.unwinding {
+		return
+	}
 	c.yielded <- struct{}{}
 	<-c.resume
 	if c.aborted {
+		c.unwinding = true
 		panic(abortSignal{})
 	}
 }

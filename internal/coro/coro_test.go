@@ -2,6 +2,7 @@ package coro
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -107,6 +108,68 @@ func TestPanicBecomesError(t *testing.T) {
 	}
 }
 
+// firmwarePanicHelper stands in for the faulty firmware routine: its
+// name must survive into the coroutine's error.
+func firmwarePanicHelper() { panic("bad row address") }
+
+// A panic inside an operation must keep the goroutine's stack trace —
+// the originating function is the whole debugging story, and the
+// recover() that converts the panic to an error runs on the coroutine
+// goroutine, where the stack is still live.
+func TestPanicErrorCapturesStack(t *testing.T) {
+	c := New(func(y *Yielder) error {
+		y.Yield()
+		firmwarePanicHelper()
+		return nil
+	})
+	c.Resume()
+	if !c.Resume() {
+		t.Fatal("panicking coroutine not finished")
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	if !strings.Contains(err.Error(), "bad row address") {
+		t.Errorf("panic value missing from error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "firmwarePanicHelper") {
+		t.Errorf("originating function missing from error: %v", err)
+	}
+}
+
+// A deferred function that yields during an abort unwind must be driven
+// through its suspensions: Abort keeps resuming until the coroutine
+// actually finishes, instead of returning after one resume with the
+// goroutine parked forever inside the defer (a goroutine leak, and
+// under pooling a leaked pool slot).
+func TestAbortDrivesDeferredYields(t *testing.T) {
+	cleanupSteps := 0
+	c := New(func(y *Yielder) error {
+		defer func() {
+			cleanupSteps++
+			y.Yield() // suspending cleanup, e.g. a final SET FEATURES submit
+			cleanupSteps++
+			y.Yield()
+			cleanupSteps++
+		}()
+		for {
+			y.Yield()
+		}
+	})
+	c.Resume()
+	c.Abort()
+	if !c.Finished() {
+		t.Fatal("abort left the coroutine suspended inside its defer")
+	}
+	if !errors.Is(c.Err(), ErrAborted) {
+		t.Fatalf("err = %v", c.Err())
+	}
+	if cleanupSteps != 3 {
+		t.Errorf("cleanup ran %d of 3 steps before finishing", cleanupSteps)
+	}
+}
+
 func TestInterleavingIsDeterministic(t *testing.T) {
 	var trace []string
 	mk := func(name string) *Coroutine {
@@ -180,17 +243,33 @@ func BenchmarkCoroResume(b *testing.B) {
 	c.Abort()
 }
 
-// BenchmarkCoroNew measures creating and completing one coroutine: the
-// dominant remaining per-operation allocation after the pooled data
-// path (channels, handle, goroutine bookkeeping).
+// BenchmarkCoroNew measures creating and completing one coroutine —
+// the per-operation coroutine cost the controller pays. "unpooled" is
+// the historical baseline (goroutine spawn per operation: ~5 allocs /
+// ~2.8 µs); "pooled" recycles parked goroutines through a coro.Pool and
+// must stay at 0 allocs steady-state (TestAllocGateCoroPool is the CI
+// gate), at resume-level latency.
 func BenchmarkCoroNew(b *testing.B) {
 	fn := func(y *Yielder) error { return nil }
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c := New(fn)
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := New(fn)
+			c.Resume()
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		p := NewPool()
+		defer p.Close()
+		c := p.Get(fn) // spawn the worker outside the timed region
 		c.Resume()
-	}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := p.Get(fn)
+			c.Resume()
+		}
+	})
 }
 
 func BenchmarkResumeYield(b *testing.B) {

@@ -60,7 +60,7 @@ func Chaos(opt Options, seeds []int64) ([]ChaosPoint, error) {
 	opt = opt.withDefaults()
 	out := make([]ChaosPoint, len(seeds))
 	err := sweep(opt, len(seeds), func(i int, tracer obs.Tracer) error {
-		p, err := chaosRun(opt.Ops, seeds[i], tracer)
+		p, err := chaosRun(opt.Ops, seeds[i], tracer, opt.NoCoroPool)
 		if err != nil {
 			return fmt.Errorf("chaos seed %d: %w", seeds[i], err)
 		}
@@ -74,7 +74,7 @@ func Chaos(opt Options, seeds []int64) ([]ChaosPoint, error) {
 }
 
 // chaosRun drives one seeded soak and checks the survival contract.
-func chaosRun(ops int, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
+func chaosRun(ops int, seed int64, tracer obs.Tracer, noCoroPool bool) (ChaosPoint, error) {
 	params := chaosParams()
 	geo := params.Geometry
 	rows := uint32(geo.BlocksPerLUN * geo.PagesPerBlk)
@@ -84,6 +84,7 @@ func chaosRun(ops int, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
 		Params: params, Ways: chaosWays, RateMT: 200,
 		Controller: ssd.CtrlBabolCoro, CPUMHz: 1000,
 		WithECC: true, Tracer: tracer, Faults: &plan,
+		NoCoroPool: noCoroPool,
 	})
 	if err != nil {
 		return ChaosPoint{}, err

@@ -45,6 +45,12 @@ type Options struct {
 	// when debugging a single configuration. Results are deterministic
 	// and byte-identical at every setting.
 	Parallel int
+	// NoCoroPool builds every rig without its per-rig coroutine pool
+	// (fresh goroutine per operation). Results and traces are identical
+	// either way — TestCoroPoolDeterminism holds the two paths byte-for-
+	// byte equal — so this exists for that comparison and for isolating
+	// pool bugs, not for normal use.
+	NoCoroPool bool
 }
 
 func (o Options) withDefaults() Options {

@@ -66,6 +66,7 @@ func Fig10(opt Options) ([]Fig10Point, error) {
 		mbps, err := readThroughput(ssd.BuildConfig{
 			Params: c.params, Ways: c.luns, RateMT: c.rate,
 			Controller: c.ctrl, CPUMHz: c.mhz, Tracer: tracer,
+			NoCoroPool: opt.NoCoroPool,
 		}, hic.Sequential, opt.Ops, 2*c.luns)
 		if err != nil {
 			return fmt.Errorf("fig10 %s %dMT %v %dMHz %dLUN: %w",

@@ -46,6 +46,7 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 		rig, err := ssd.Build(ssd.BuildConfig{
 			Params: params, Ways: 1, RateMT: 200,
 			Controller: kind, CPUMHz: 1000, Record: true, Tracer: tracer,
+			NoCoroPool: opt.NoCoroPool,
 		})
 		if err != nil {
 			return err

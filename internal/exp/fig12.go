@@ -50,6 +50,7 @@ func Fig12(opt Options) ([]Fig12Point, error) {
 		mbps, err := readThroughput(ssd.BuildConfig{
 			Params: params, Ways: c.ways, RateMT: 200,
 			Controller: c.ctrl, CPUMHz: 1000, Tracer: tracer,
+			NoCoroPool: opt.NoCoroPool,
 		}, c.pattern, opt.Ops, 4*c.ways)
 		if err != nil {
 			return fmt.Errorf("fig12 %v %v %dway: %w", c.pattern, c.ctrl, c.ways, err)

@@ -90,6 +90,7 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 			Params: shrink(nand.Hynix(), opt.Blocks), Ways: 1, RateMT: 200,
 			Controller: c.kind, CPUMHz: c.mhz,
 			Observe: true, Tracer: rigTracer,
+			NoCoroPool: opt.NoCoroPool,
 		})
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/core"
+	"repro/internal/coro"
 	"repro/internal/cpumodel"
 	"repro/internal/dram"
 	"repro/internal/fault"
@@ -78,6 +79,12 @@ type BuildConfig struct {
 	// target (global chip numbering: channel*Ways + way). Fault hits are
 	// emitted as obs.KindFault events on the targeted chip's channel.
 	Faults *fault.Plan
+	// NoCoroPool disables the per-rig coroutine pool: every operation
+	// gets a fresh goroutine, as before pooling existed. Virtual-time
+	// results are identical either way (the pooled-determinism tests
+	// compare the two paths byte for byte); the switch costs ~5 allocs
+	// and a goroutine spawn per operation.
+	NoCoroPool bool
 }
 
 // Rig is a fully wired SSD plus handles to its parts. The singular
@@ -102,12 +109,24 @@ type Rig struct {
 	// Metrics is the cross-channel roll-up of the controllers' event
 	// streams; non-nil iff BuildConfig.Observe was set.
 	Metrics *obs.Metrics
+
+	// CoroPool is the rig's shared operation-coroutine pool (nil for
+	// hardware-only rigs or when BuildConfig.NoCoroPool is set). All
+	// BABOL controllers on the rig draw from it; it lives across
+	// operations, GC cycles, and fault-recovery reissues, and is closed
+	// by Rig.Close after the controllers have aborted their operations.
+	CoroPool *coro.Pool
 }
 
-// Close releases controller resources (coroutine goroutines).
+// Close releases controller resources: in-flight operation coroutines
+// are aborted, then the rig's coroutine pool (if any) stops its parked
+// workers, returning the process goroutine count to baseline.
 func (r *Rig) Close() {
 	for _, c := range r.Babols {
 		c.Close()
+	}
+	if r.CoroPool != nil {
+		r.CoroPool.Close()
 	}
 }
 
@@ -195,9 +214,16 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			if err != nil {
 				return nil, err
 			}
+			if rig.CoroPool == nil && !cfg.NoCoroPool {
+				// One pool per rig, shared by every channel controller:
+				// they all run on this kernel's goroutine, so the pool's
+				// single-threaded contract holds across channels.
+				rig.CoroPool = coro.NewPool()
+			}
 			ctrl, err := core.New(core.Config{
 				Kernel: k, Channel: ch, DRAM: mem, CPU: cpu, TxnQueue: cfg.TxnQueue,
-				Tracer: obs.OnChannel(tracer, c),
+				Tracer:   obs.OnChannel(tracer, c),
+				CoroPool: rig.CoroPool, DisableCoroPool: cfg.NoCoroPool,
 			})
 			if err != nil {
 				return nil, err
