@@ -493,13 +493,17 @@ func BenchmarkFig10Sweep(b *testing.B) {
 // simulationSpeed drives one read workload on a fresh rig and returns
 // the virtual time it covered. Rig construction and preload run with
 // the timer stopped so the metric measures the discrete-event engine,
-// not DRAM zeroing.
-func simulationSpeed(b *testing.B, channels, ways int, noPool bool) sim.Duration {
+// not DRAM zeroing. shards 0 is the legacy single-kernel path; shards
+// ≥ 1 runs the conservative time-window cluster (windowed timestamps
+// include the modeled HostHop, so virtual spans differ slightly from
+// the legacy run — the RTF ratio stays comparable).
+func simulationSpeed(b *testing.B, channels, ways, shards int, noPool bool) sim.Duration {
 	b.Helper()
 	b.StopTimer()
 	rig, err := ssd.Build(ssd.BuildConfig{
 		Params: benchParams(), Channels: channels, Ways: ways, RateMT: 200,
 		Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000, NoCoroPool: noPool,
+		Shards: shards,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -518,8 +522,8 @@ func simulationSpeed(b *testing.B, channels, ways int, noPool bool) sim.Duration
 	}); err != nil {
 		b.Fatal(err)
 	}
-	rig.Kernel.Run()
-	virtual := sim.Duration(rig.Kernel.Now())
+	rig.Run()
+	virtual := sim.Duration(rig.Now())
 	b.StopTimer()
 	rig.Close()
 	b.StartTimer()
@@ -540,22 +544,31 @@ func simulationSpeed(b *testing.B, channels, ways int, noPool bool) sim.Duration
 // Run with -benchmem: allocs/op is the per-workload allocation budget
 // that the kernel's slot-recycling event queue and the controller's
 // coroutine pool together keep flat.
+// The sharded sub-benches measure the conservative time-window cluster
+// at the full-drive shape: shards1 is the windowed single-kernel
+// ablation (protocol cost with zero parallelism), sharded spreads the
+// 8 channels over 8 shard kernels plus the host shard. On a single-core
+// runner the windowed protocol is pure overhead (one barrier per
+// microsecond of virtual time); the shard win needs real CPUs.
 func BenchmarkSimulationSpeed(b *testing.B) {
 	for _, j := range []struct {
 		name           string
 		channels, ways int
+		shards         int
 		noPool         bool
 	}{
-		{"1ch-8way", 1, 8, false},
-		{"1ch-8way-unpooled", 1, 8, true}, // the coro-pool ablation
-		{"full-drive-8ch-8way", 8, 8, false},
+		{"1ch-8way", 1, 8, 0, false},
+		{"1ch-8way-unpooled", 1, 8, 0, true}, // the coro-pool ablation
+		{"full-drive-8ch-8way", 8, 8, 0, false},
+		{"full-drive-8ch-8way-shards1", 8, 8, 1, false},
+		{"full-drive-8ch-8way-sharded", 8, 8, 9, false},
 	} {
 		j := j
 		b.Run(j.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var virtualPerIter sim.Duration
 			for i := 0; i < b.N; i++ {
-				virtualPerIter = simulationSpeed(b, j.channels, j.ways, j.noPool)
+				virtualPerIter = simulationSpeed(b, j.channels, j.ways, j.shards, j.noPool)
 			}
 			b.ReportMetric(virtualPerIter.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "virtual-s/wall-s")
 		})

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFlagParsing pins the CLI resolution rules: -parallel and -shards
+// share the "0 sizes to the CPUs" convention, -shards defaults to the
+// legacy unsharded kernel, and -hosthop converts microseconds into the
+// cluster lookahead.
+func TestFlagParsing(t *testing.T) {
+	parse := func(t *testing.T, args ...string) *cli {
+		t.Helper()
+		c := newCLI(io.Discard)
+		if err := c.fs.Parse(args); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		return c
+	}
+
+	t.Run("defaults", func(t *testing.T) {
+		c := parse(t, "fig10")
+		opt := c.options()
+		// -parallel 0 resolves inside the exp runner; the option must
+		// pass through unmodified so that resolution stays in one place.
+		if c.parallel != 0 || opt.Parallel != 0 {
+			t.Errorf("default parallel = %d (opt %d), want 0", c.parallel, opt.Parallel)
+		}
+		// -shards defaults to legacy: Shards 0 keeps the single kernel.
+		if opt.Shards != 0 {
+			t.Errorf("default Shards = %d, want 0 (legacy)", opt.Shards)
+		}
+		if opt.HostHop != 0 {
+			t.Errorf("default HostHop = %v, want 0 (builder default)", opt.HostHop)
+		}
+		if c.fs.Arg(0) != "fig10" {
+			t.Errorf("positional arg = %q, want fig10", c.fs.Arg(0))
+		}
+	})
+
+	t.Run("shards-zero-is-one-per-cpu", func(t *testing.T) {
+		opt := parse(t, "-shards", "0", "fig12").options()
+		if want := runtime.GOMAXPROCS(0); opt.Shards != want {
+			t.Errorf("-shards 0 resolved to %d, want GOMAXPROCS %d", opt.Shards, want)
+		}
+	})
+
+	t.Run("shards-explicit", func(t *testing.T) {
+		opt := parse(t, "-shards", "4", "-hosthop", "2.5", "chaos").options()
+		if opt.Shards != 4 {
+			t.Errorf("Shards = %d, want 4", opt.Shards)
+		}
+		if want := sim.Duration(2.5 * float64(sim.Microsecond)); opt.HostHop != want {
+			t.Errorf("HostHop = %v, want %v", opt.HostHop, want)
+		}
+	})
+
+	t.Run("parallel-explicit", func(t *testing.T) {
+		c := parse(t, "-parallel", "3", "-ops", "12", "all")
+		opt := c.options()
+		if opt.Parallel != 3 || opt.Ops != 12 {
+			t.Errorf("Parallel=%d Ops=%d, want 3 and 12", opt.Parallel, opt.Ops)
+		}
+	})
+
+	t.Run("bad-flag", func(t *testing.T) {
+		c := newCLI(io.Discard)
+		if err := c.fs.Parse([]string{"-no-such-flag"}); err == nil {
+			t.Error("unknown flag parsed without error")
+		}
+	})
+}

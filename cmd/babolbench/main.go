@@ -54,14 +54,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 
 	"repro/internal/analyze"
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // analyzeTrace is the `babolbench analyze` subcommand: decode a JSONL
@@ -112,37 +115,86 @@ func serveIntrospection(addr string) (obs.Tracer, error) {
 	return live, nil
 }
 
-func main() {
-	csv := flag.Bool("csv", false, "emit fig10/fig12/split as CSV instead of tables")
-	ops := flag.Int("ops", 240, "host operations per measured configuration")
-	blocks := flag.Int("blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
-	trace := flag.String("trace", "", "append controller events to this JSONL file")
-	parallel := flag.Int("parallel", 0, "rigs simulated concurrently (0 = one per CPU, 1 = serial; results are identical at any setting)")
-	seeds := flag.Int("seeds", 8, "number of seeded fault plans for the chaos soak")
-	httpAddr := flag.String("http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
-		fmt.Fprintf(os.Stderr, "       babolbench [-ops N] [-seeds N] [-parallel N] [-trace out.jsonl] chaos\n")
-		fmt.Fprintf(os.Stderr, "       babolbench [-csv] analyze trace.jsonl\n")
-		flag.PrintDefaults()
+// cli holds babolbench's parsed flags. The flag set is built on an
+// injectable FlagSet so the parsing and resolution rules are testable:
+// -parallel and -shards share one convention — 0 means "size to the
+// CPUs" (runtime.GOMAXPROCS(0)); -shards -1 keeps the legacy unsharded
+// kernel (the default), since sharding changes the modeled timing by
+// the -hosthop latency.
+type cli struct {
+	fs        *flag.FlagSet
+	csv       bool
+	ops       int
+	blocks    int
+	trace     string
+	parallel  int
+	shards    int
+	hosthopUS float64
+	seeds     int
+	httpAddr  string
+}
+
+func newCLI(errOut io.Writer) *cli {
+	c := &cli{fs: flag.NewFlagSet("babolbench", flag.ContinueOnError)}
+	c.fs.SetOutput(errOut)
+	c.fs.BoolVar(&c.csv, "csv", false, "emit fig10/fig12/split as CSV instead of tables")
+	c.fs.IntVar(&c.ops, "ops", 240, "host operations per measured configuration")
+	c.fs.IntVar(&c.blocks, "blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
+	c.fs.StringVar(&c.trace, "trace", "", "append controller events to this JSONL file")
+	c.fs.IntVar(&c.parallel, "parallel", 0, "rigs simulated concurrently (0 = one per CPU, 1 = serial; results are identical at any setting)")
+	c.fs.IntVar(&c.shards, "shards", -1, "event-kernel shards per rig (0 = one per CPU, 1 = windowed single kernel, -1 = legacy unsharded; results are identical at any setting >= 1)")
+	c.fs.Float64Var(&c.hosthopUS, "hosthop", 0, "modeled host<->channel hop latency in microseconds for sharded rigs (0 = the 1us default)")
+	c.fs.IntVar(&c.seeds, "seeds", 8, "number of seeded fault plans for the chaos soak")
+	c.fs.StringVar(&c.httpAddr, "http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
+	c.fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-shards N] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(errOut, "       babolbench [-ops N] [-seeds N] [-parallel N] [-shards N] [-trace out.jsonl] chaos\n")
+		fmt.Fprintf(errOut, "       babolbench [-csv] analyze trace.jsonl\n")
+		c.fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.Arg(0) == "analyze" {
-		if flag.NArg() != 2 {
-			flag.Usage()
+	return c
+}
+
+// options resolves the parsed flags into experiment options. Both pool
+// sizes resolve 0 to the CPU count; -parallel does so inside the exp
+// runner (Options.workers), -shards here, because ssd.BuildConfig
+// reserves Shards == 0 for the legacy path.
+func (c *cli) options() exp.Options {
+	opt := exp.Options{Ops: c.ops, Blocks: c.blocks, WaysList: []int{2, 4, 8}, Parallel: c.parallel}
+	switch {
+	case c.shards == 0:
+		opt.Shards = runtime.GOMAXPROCS(0)
+	case c.shards > 0:
+		opt.Shards = c.shards
+	}
+	if c.hosthopUS > 0 {
+		opt.HostHop = sim.Duration(c.hosthopUS * float64(sim.Microsecond))
+	}
+	return opt
+}
+
+func main() {
+	c := newCLI(os.Stderr)
+	if err := c.fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	csv, trace, seeds, httpAddr := &c.csv, &c.trace, &c.seeds, &c.httpAddr
+	if c.fs.Arg(0) == "analyze" {
+		if c.fs.NArg() != 2 {
+			c.fs.Usage()
 			os.Exit(2)
 		}
-		if err := analyzeTrace(flag.Arg(1), *csv); err != nil {
+		if err := analyzeTrace(c.fs.Arg(1), *csv); err != nil {
 			fmt.Fprintln(os.Stderr, "babolbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if flag.NArg() != 1 {
-		flag.Usage()
+	if c.fs.NArg() != 1 {
+		c.fs.Usage()
 		os.Exit(2)
 	}
-	opt := exp.Options{Ops: *ops, Blocks: *blocks, WaysList: []int{2, 4, 8}, Parallel: *parallel}
+	opt := c.options()
 	if *httpAddr != "" {
 		live, err := serveIntrospection(*httpAddr)
 		if err != nil {
@@ -247,7 +299,7 @@ func main() {
 		return nil
 	}
 
-	err := run(flag.Arg(0))
+	err := run(c.fs.Arg(0))
 	if sink != nil {
 		if ferr := sink.Flush(); err == nil && ferr != nil {
 			err = fmt.Errorf("writing trace: %w", ferr)

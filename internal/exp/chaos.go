@@ -60,7 +60,7 @@ func Chaos(opt Options, seeds []int64) ([]ChaosPoint, error) {
 	opt = opt.withDefaults()
 	out := make([]ChaosPoint, len(seeds))
 	err := sweep(opt, len(seeds), func(i int, tracer obs.Tracer) error {
-		p, err := chaosRun(opt.Ops, seeds[i], tracer, opt.NoCoroPool)
+		p, err := chaosRun(opt, seeds[i], tracer)
 		if err != nil {
 			return fmt.Errorf("chaos seed %d: %w", seeds[i], err)
 		}
@@ -74,7 +74,8 @@ func Chaos(opt Options, seeds []int64) ([]ChaosPoint, error) {
 }
 
 // chaosRun drives one seeded soak and checks the survival contract.
-func chaosRun(ops int, seed int64, tracer obs.Tracer, noCoroPool bool) (ChaosPoint, error) {
+func chaosRun(opt Options, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
+	ops := opt.Ops
 	params := chaosParams()
 	geo := params.Geometry
 	rows := uint32(geo.BlocksPerLUN * geo.PagesPerBlk)
@@ -84,7 +85,8 @@ func chaosRun(ops int, seed int64, tracer obs.Tracer, noCoroPool bool) (ChaosPoi
 		Params: params, Ways: chaosWays, RateMT: 200,
 		Controller: ssd.CtrlBabolCoro, CPUMHz: 1000,
 		WithECC: true, Tracer: tracer, Faults: &plan,
-		NoCoroPool: noCoroPool,
+		NoCoroPool: opt.NoCoroPool,
+		Shards:     opt.Shards, HostHop: opt.HostHop,
 	})
 	if err != nil {
 		return ChaosPoint{}, err
@@ -107,7 +109,7 @@ func chaosRun(ops int, seed int64, tracer obs.Tracer, noCoroPool bool) (ChaosPoi
 	if err != nil {
 		return ChaosPoint{}, err
 	}
-	rig.Kernel.Run()
+	rig.Run()
 
 	// Survival contract, part 1: the rig always drains. Individual
 	// commands may fail (uncorrectable reads, offline chips, read-only

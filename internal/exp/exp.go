@@ -51,6 +51,15 @@ type Options struct {
 	// byte equal — so this exists for that comparison and for isolating
 	// pool bugs, not for normal use.
 	NoCoroPool bool
+	// Shards runs every rig under the conservative time-window cluster
+	// (ssd.BuildConfig.Shards): 0 keeps the legacy single-kernel path,
+	// 1 is the windowed single-kernel baseline, ≥2 spreads channels
+	// across shard kernels. Results are byte-identical at every count
+	// ≥ 1 — TestShardedExperimentDeterminism pins CSVs and traces.
+	Shards int
+	// HostHop is the modeled host↔channel hop latency, which doubles as
+	// the cluster lookahead (default 1 µs when Shards > 0).
+	HostHop sim.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -97,7 +106,7 @@ func readThroughput(cfg ssd.BuildConfig, pattern hic.Pattern, ops, queueDepth in
 	if err != nil {
 		return 0, err
 	}
-	rig.Kernel.Run()
+	rig.Run()
 	if res.Completed != ops {
 		return 0, fmt.Errorf("exp: only %d of %d ops completed", res.Completed, ops)
 	}

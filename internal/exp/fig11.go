@@ -47,6 +47,7 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 			Params: params, Ways: 1, RateMT: 200,
 			Controller: kind, CPUMHz: 1000, Record: true, Tracer: tracer,
 			NoCoroPool: opt.NoCoroPool,
+			Shards:     opt.Shards, HostHop: opt.HostHop,
 		})
 		if err != nil {
 			return err
@@ -62,7 +63,7 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 		if err != nil {
 			return err
 		}
-		rig.Kernel.Run()
+		rig.Run()
 		if res.Completed != reads || res.Failed != 0 {
 			return fmt.Errorf("fig11 %v: %d/%d completed, %d failed", kind, res.Completed, reads, res.Failed)
 		}
@@ -151,7 +152,7 @@ func Fig9() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rig.Kernel.Run()
+	rig.Run()
 	if res.Completed != 1 || res.Failed != 0 {
 		return "", fmt.Errorf("fig9: read did not complete cleanly")
 	}

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// shardCounts are the cluster sizes the experiment-level determinism
+// tests sweep: the windowed single-kernel baseline (1), the smallest
+// real split (2), and more shards than most rigs have channels (8,
+// which the builder caps at 1+channels).
+var shardCounts = []int{1, 2, 8}
+
+// shardQuick is the reduced option set for the sharded sweeps: the
+// windowed protocol runs one barrier per microsecond of virtual time,
+// so these tests trade op count for shard-count coverage.
+func shardQuick() Options {
+	o := Options{Ops: 24, WaysList: []int{2}, Blocks: 16}
+	o.Parallel = 8
+	return o
+}
+
+// TestShardedExperimentDeterminism is the experiment-level half of the
+// sharding invariant: whole figure sweeps — many rigs, run through the
+// parallel worker pool — produce byte-identical CSVs and byte-identical
+// merged JSONL traces at every shard count. The per-rig invariant lives
+// in ssd.TestShardedDeterminism; this test proves it survives the
+// harness: sweep merging, tracer plumbing, and parallel workers.
+func TestShardedExperimentDeterminism(t *testing.T) {
+	t.Run("fig10", func(t *testing.T) {
+		var refCSV string
+		var refTrace []byte
+		for i, shards := range shardCounts {
+			opt := shardQuick()
+			opt.Shards = shards
+			var csv string
+			trace := traceRun(t, opt, func(o Options) error {
+				pts, err := Fig10(o)
+				if err == nil {
+					csv = Fig10CSV(pts)
+				}
+				return err
+			})
+			if i == 0 {
+				refCSV, refTrace = csv, trace
+				if len(trace) == 0 {
+					t.Fatal("fig10 trace is empty; determinism check is vacuous")
+				}
+				continue
+			}
+			if csv != refCSV {
+				t.Errorf("fig10 CSV at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+			if !bytes.Equal(trace, refTrace) {
+				t.Errorf("fig10 merged trace at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+		}
+	})
+
+	// Fig11 renders poll cadences and analyzer views from the channel
+	// waveform — the most timing-sensitive output; compare the full
+	// result struct.
+	t.Run("fig11", func(t *testing.T) {
+		var refRendered string
+		var refTrace []byte
+		for i, shards := range shardCounts {
+			opt := shardQuick()
+			opt.Shards = shards
+			var rendered string
+			trace := traceRun(t, opt, func(o Options) error {
+				res, err := Fig11(o)
+				if err == nil {
+					rendered = fmt.Sprintf("%+v", res)
+				}
+				return err
+			})
+			if i == 0 {
+				refRendered, refTrace = rendered, trace
+				continue
+			}
+			if rendered != refRendered {
+				t.Errorf("fig11 results at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+			if !bytes.Equal(trace, refTrace) {
+				t.Errorf("fig11 merged trace at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+		}
+	})
+
+	t.Run("fig12", func(t *testing.T) {
+		var refCSV string
+		var refTrace []byte
+		for i, shards := range shardCounts {
+			opt := shardQuick()
+			opt.Shards = shards
+			var csv string
+			trace := traceRun(t, opt, func(o Options) error {
+				pts, err := Fig12(o)
+				if err == nil {
+					csv = Fig12CSV(pts)
+				}
+				return err
+			})
+			if i == 0 {
+				refCSV, refTrace = csv, trace
+				continue
+			}
+			if csv != refCSV {
+				t.Errorf("fig12 CSV at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+			if !bytes.Equal(trace, refTrace) {
+				t.Errorf("fig12 merged trace at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+		}
+	})
+
+	// Chaos is the adversarial case: fault injection, RESET recovery,
+	// and offlining all crossing the shard funnel, per seed.
+	t.Run("chaos", func(t *testing.T) {
+		seeds := []int64{1, 2, 3}
+		var refCSV string
+		var refTrace []byte
+		for i, shards := range shardCounts {
+			opt := shardQuick()
+			opt.Shards = shards
+			var csv string
+			trace := traceRun(t, opt, func(o Options) error {
+				pts, err := Chaos(o, seeds)
+				if err == nil {
+					csv = ChaosCSV(pts)
+				}
+				return err
+			})
+			if i == 0 {
+				refCSV, refTrace = csv, trace
+				if len(trace) == 0 {
+					t.Fatal("chaos trace is empty; determinism check is vacuous")
+				}
+				continue
+			}
+			if csv != refCSV {
+				t.Errorf("chaos CSV at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+			if !bytes.Equal(trace, refTrace) {
+				t.Errorf("chaos merged trace at shards=%d diverged from shards=%d", shards, shardCounts[0])
+			}
+		}
+	})
+}

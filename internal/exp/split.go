@@ -91,6 +91,7 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 			Controller: c.kind, CPUMHz: c.mhz,
 			Observe: true, Tracer: rigTracer,
 			NoCoroPool: opt.NoCoroPool,
+			Shards:     opt.Shards, HostHop: opt.HostHop,
 		})
 		if err != nil {
 			return err
@@ -106,7 +107,7 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 		if err != nil {
 			return err
 		}
-		rig.Kernel.Run()
+		rig.Run()
 		if res.Completed != reads || res.Failed != 0 {
 			return fmt.Errorf("timesplit %v@%d: %d/%d completed, %d failed",
 				c.kind, c.mhz, res.Completed, reads, res.Failed)

@@ -1,10 +1,20 @@
 package nand
 
 import (
-	"hash/fnv"
-
 	"repro/internal/onfi"
 )
+
+// fnv1a is an inline FNV-1a-32 over b, byte-for-byte identical to
+// hash/fnv's New32a sum but without the interface allocation — these
+// hashes run on every array operation (timing jitter, error injection).
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
 
 // Bit-error injection.
 //
@@ -79,9 +89,8 @@ func (l *LUN) OptimalRetryLevel(row uint32) int {
 	if l.params.ReadRetryLevels == 0 {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte{byte(row), byte(row >> 8), byte(row >> 16), 0x9E})
-	return int(h.Sum32()) % l.params.ReadRetryLevels
+	b := [4]byte{byte(row), byte(row >> 8), byte(row >> 16), 0x9E}
+	return int(fnv1a(b[:])) % l.params.ReadRetryLevels
 }
 
 // deterministicCount converts an expected value into an integer count that
@@ -90,13 +99,12 @@ func deterministicCount(row, cw, wear uint32, expect float64) int {
 	if expect <= 0 {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte{
+	b := [6]byte{
 		byte(row), byte(row >> 8), byte(row >> 16),
 		byte(cw), byte(wear), byte(wear >> 8),
-	})
+	}
 	// frac in [0, 1): decides whether to round up.
-	frac := float64(h.Sum32()%1000) / 1000.0
+	frac := float64(fnv1a(b[:])%1000) / 1000.0
 	n := int(expect)
 	if frac < expect-float64(n) {
 		n++
@@ -106,12 +114,11 @@ func deterministicCount(row, cw, wear uint32, expect float64) int {
 
 // deterministicBit picks the e-th flipped bit position within a codeword.
 func deterministicBit(row, cw, e uint32) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte{
+	b := [7]byte{
 		byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24),
 		byte(cw), byte(e), 0x5F,
-	})
-	return h.Sum32() % (codewordBytes * 8)
+	}
+	return fnv1a(b[:]) % (codewordBytes * 8)
 }
 
 // Wear artificially ages a block to the given erase count. It is intended

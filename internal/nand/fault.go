@@ -1,8 +1,6 @@
 package nand
 
 import (
-	"hash/fnv"
-
 	"repro/internal/sim"
 )
 
@@ -51,9 +49,8 @@ const stuckUntil = sim.Time(1) << 62
 // handles one flip and detects two). Positions derive from the row so
 // repeated reads of the same page corrupt identically.
 func corruptBeyondECC(row uint32, dst []byte) {
-	h := fnv.New32a()
-	h.Write([]byte{byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24), 0xEC})
-	seed := h.Sum32()
+	b := [5]byte{byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24), 0xEC}
+	seed := fnv1a(b[:])
 	const cw = 512
 	for base := 0; base < len(dst); base += cw {
 		n := len(dst) - base

@@ -3,7 +3,6 @@ package nand
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/onfi"
 	"repro/internal/pagebuf"
@@ -166,6 +165,19 @@ type LUN struct {
 	loadData    []byte
 	loadBuf     []byte
 
+	// reg is the logical page-register content: either pageReg itself
+	// (owned, mutable) or a read-only alias of a stored page, a plane
+	// buffer, or the erased template, established by settle so clean
+	// reads skip the array→register full-page copies. Mutators call
+	// ownReg first; unalias materializes before a pooled source buffer
+	// is released.
+	reg         []byte
+	regAliased  bool   // reg aliases a pooled stored page
+	regRow      uint32 // the row reg aliases, when regAliased
+	loadAliased bool   // loadData aliases a pooled stored page
+	loadRow     uint32 // the row loadData aliases, when loadAliased
+	erasedFF    []byte // all-0xFF page backing reads of erased rows
+
 	// Cache-read sequencing.
 	cacheRow     uint32
 	cachePending bool // a 0x31/0x3F asked for pageReg→cacheReg at ARDY
@@ -232,6 +244,11 @@ func NewLUN(p Params) (*LUN, error) {
 	if l.phaseOptimal == 0 {
 		l.phaseOptimal = defaultPhase
 	}
+	l.reg = l.pageReg
+	l.erasedFF = make([]byte, g.FullPageBytes())
+	for i := range l.erasedFF {
+		l.erasedFF[i] = 0xFF
+	}
 	l.powerOnFeatures()
 	return l, nil
 }
@@ -272,13 +289,10 @@ func (l *LUN) jitterFor(row uint32, d sim.Duration) sim.Duration {
 	if l.params.JitterPct == 0 {
 		return d
 	}
-	h := fnv.New32a()
-	var b [4]byte
-	b[0], b[1], b[2], b[3] = byte(row), byte(row>>8), byte(row>>16), byte(row>>24)
-	h.Write(b[:])
+	b := [4]byte{byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24)}
 	// Map hash to [-JitterPct, +JitterPct] percent.
 	span := int64(2*l.params.JitterPct + 1)
-	pct := int64(h.Sum32())%span - int64(l.params.JitterPct)
+	pct := int64(fnv1a(b[:]))%span - int64(l.params.JitterPct)
 	return d + sim.Duration(int64(d)*pct/100)
 }
 
@@ -318,12 +332,26 @@ func (l *LUN) settle(now sim.Time) {
 	// Reads are never suspendable, so a pending load settles regardless of
 	// a suspended PROGRAM/ERASE.
 	if l.loadPending && now >= l.arrayBusyUntil {
-		copy(l.pageReg, l.loadData)
+		if &l.loadData[0] == &l.loadBuf[0] {
+			// The load was materialized into loadBuf (fault corruption or
+			// wear-injected errors): swap the buffers in place of a
+			// full-page copy.
+			l.pageReg, l.loadBuf = l.loadBuf, l.pageReg
+			l.reg = l.pageReg
+			l.regAliased = false
+		} else {
+			// Clean load: the register aliases the source until a mutator
+			// claims it (ownReg) — no page copy on the read hot path.
+			l.reg = l.loadData
+			l.regAliased = l.loadAliased
+			l.regRow = l.loadRow
+		}
+		l.loadAliased = false
 		l.loadPending = false
 		l.curOp = arrNone
 	}
 	if l.cachePending && now >= l.arrayBusyUntil {
-		copy(l.cacheReg, l.pageReg)
+		copy(l.cacheReg, l.reg)
 		l.cachePending = false
 	}
 }
@@ -529,7 +557,10 @@ func (l *LUN) address(now sim.Time, b byte) error {
 			l.curRow = l.rowIndex(addr.Row)
 			l.column = int(addr.Col)
 			// Program loads start from an all-ones register (NAND can
-			// only clear bits).
+			// only clear bits). The fill overwrites everything, so any
+			// alias is simply dropped rather than materialized.
+			l.reg = l.pageReg
+			l.regAliased = false
 			for i := range l.pageReg {
 				l.pageReg[i] = 0xFF
 			}
@@ -618,11 +649,16 @@ func (l *LUN) startRead(now sim.Time, cache bool) error {
 	l.curRow = row
 	l.cacheRow = row
 	l.loadPending = true
-	l.readArrayInto(row, l.loadBuf)
-	if fo.Corrupt {
-		corruptBeyondECC(row, l.loadBuf)
+	if src, clean := l.cleanSource(row, fo); clean {
+		l.loadData = src
+	} else {
+		l.loadAliased = false
+		l.readArrayInto(row, l.loadBuf)
+		if fo.Corrupt {
+			corruptBeyondECC(row, l.loadBuf)
+		}
+		l.loadData = l.loadBuf
 	}
-	l.loadData = l.loadBuf
 	l.arrayBusyUntil = now.Add(tr)
 	if fo.Stuck {
 		l.arrayBusyUntil = stuckUntil
@@ -651,7 +687,7 @@ func (l *LUN) startCacheNext(now sim.Time) error {
 	}
 	l.settle(now)
 	// Current page register content moves to cache for output.
-	copy(l.cacheReg, l.pageReg)
+	copy(l.cacheReg, l.reg)
 	next := l.cacheRow + 1
 	if int(next) >= l.geo.Pages() {
 		return l.protoErr("cache read past end of LUN")
@@ -660,8 +696,13 @@ func (l *LUN) startCacheNext(now sim.Time) error {
 	l.curOp = arrRead
 	l.curRow = next
 	l.loadPending = true
-	l.readArrayInto(next, l.loadBuf)
-	l.loadData = l.loadBuf
+	if src, clean := l.cleanSource(next, FaultOutcome{}); clean {
+		l.loadData = src
+	} else {
+		l.loadAliased = false
+		l.readArrayInto(next, l.loadBuf)
+		l.loadData = l.loadBuf
+	}
 	l.arrayBusyUntil = now.Add(l.jitterFor(next, l.params.TR))
 	l.setDataOut(outCache)
 	l.column = 0
@@ -676,7 +717,7 @@ func (l *LUN) endCache(now sim.Time) error {
 		l.cachePending = true
 	} else {
 		l.settle(now)
-		copy(l.cacheReg, l.pageReg)
+		copy(l.cacheReg, l.reg)
 	}
 	l.setDataOut(outCache)
 	l.column = 0
@@ -712,7 +753,7 @@ func (l *LUN) startProgram(now sim.Time, cached bool) error {
 		// NAND forbids re-programming without an erase.
 		l.failLast = true
 	default:
-		l.storePage(row, l.pageReg)
+		l.storePage(row, l.reg)
 	}
 	l.curOp = arrProgram
 	l.curRow = row
@@ -793,6 +834,7 @@ func (l *LUN) reset(now sim.Time) error {
 	l.dec = decIdle
 	l.out = outNone
 	l.loadPending = false
+	l.loadAliased = false
 	l.cachePending = false
 	l.suspended = false
 	l.pslcNext = false
@@ -859,12 +901,66 @@ func (l *LUN) readArrayInto(row uint32, dst []byte) {
 	l.injectErrors(row, dst)
 }
 
+// cleanSource returns a buffer that can back a pending load without a
+// copy — the stored page itself, or the erased template — when nothing
+// (fault corruption, wear-injected bit errors) would mutate the data.
+func (l *LUN) cleanSource(row uint32, fo FaultOutcome) ([]byte, bool) {
+	if fo.Corrupt || l.wearActive(row) {
+		return nil, false
+	}
+	if stored, ok := l.pages[row]; ok {
+		l.loadAliased = true
+		l.loadRow = row
+		return stored.Bytes(), true
+	}
+	l.loadAliased = false
+	return l.erasedFF, true
+}
+
+// wearActive reports whether injectErrors would flip any bits for row.
+// The condition mirrors its early-outs, so clean reads can alias the
+// stored page instead of copying it through loadBuf.
+func (l *LUN) wearActive(row uint32) bool {
+	if l.params.RawBitErrorPer512B == 0 {
+		return false
+	}
+	if l.eraseCount[int(row)/l.geo.PagesPerBlk] == 0 {
+		return false
+	}
+	return l.retryMismatch(row) != 0 || l.params.ReadRetryLevels == 0
+}
+
+// ownReg makes the page register mutable: if reg aliases a stored page,
+// a plane buffer, or the erased template, its bytes move into pageReg
+// first (the deferred copy the alias saved on the read-only path).
+func (l *LUN) ownReg() {
+	if &l.reg[0] != &l.pageReg[0] {
+		copy(l.pageReg, l.reg)
+		l.reg = l.pageReg
+		l.regAliased = false
+	}
+}
+
+// unalias materializes any register/load alias of row before its pooled
+// buffer is released back to the arena.
+func (l *LUN) unalias(row uint32) {
+	if l.loadAliased && l.loadRow == row {
+		copy(l.loadBuf, l.loadData)
+		l.loadData = l.loadBuf
+		l.loadAliased = false
+	}
+	if l.regAliased && l.regRow == row {
+		l.ownReg()
+	}
+}
+
 // storePage commits a full page of data to the array in a pooled buffer
 // and marks the row programmed.
 func (l *LUN) storePage(row uint32, data []byte) {
 	buf := l.pool.Get()
 	copy(buf.Bytes(), data)
 	if old, ok := l.pages[row]; ok {
+		l.unalias(row)
 		old.Release()
 	}
 	l.pages[row] = buf
@@ -874,6 +970,7 @@ func (l *LUN) storePage(row uint32, data []byte) {
 // dropPage releases row's pooled buffer, if any, and forgets it.
 func (l *LUN) dropPage(row uint32) {
 	if buf, ok := l.pages[row]; ok {
+		l.unalias(row)
 		buf.Release()
 		delete(l.pages, row)
 	}
@@ -903,6 +1000,7 @@ func (l *LUN) DataIn(now sim.Time, data []byte) error {
 	if l.column+len(data) > len(l.pageReg) {
 		return l.protoErr("data in overruns page register (col %d + %d bytes)", l.column, len(data))
 	}
+	l.ownReg()
 	copy(l.pageReg[l.column:], data)
 	l.column += len(data)
 	return nil
@@ -946,7 +1044,7 @@ func (l *LUN) DataOutInto(now sim.Time, dst []byte) error {
 		if l.loadPending {
 			return l.protoErr("page data out before load settled")
 		}
-		if err := l.copyRegisterInto(dst, l.pageReg); err != nil {
+		if err := l.copyRegisterInto(dst, l.reg); err != nil {
 			return err
 		}
 		l.applyPhaseCorruption(dst)

@@ -78,8 +78,11 @@ func (l *LUN) finishMPRead(now sim.Time, finalRow uint32) error {
 		l.stats.Reads++
 	}
 	// The final row's data also lands in the ordinary page register, so
-	// plain CHANGE READ COLUMN keeps working.
+	// plain CHANGE READ COLUMN keeps working. Plane buffers are private
+	// allocations, so the register view may alias them without the
+	// pooled-release bookkeeping.
 	l.loadPending = true
+	l.loadAliased = false
 	l.loadData = l.mp.planeData[plane]
 	l.curOp = arrRead
 	l.curRow = finalRow
@@ -113,7 +116,8 @@ func (l *LUN) selectPlane(now sim.Time) error {
 	if !ok {
 		return l.protoErr("plane %d has no loaded data", plane)
 	}
-	copy(l.pageReg, data)
+	l.reg = data
+	l.regAliased = false
 	l.column = int(addr.Col)
 	l.setDataOut(outPage)
 	l.dec = decIdle
@@ -130,7 +134,7 @@ func (l *LUN) queueMPProgram(now sim.Time) error {
 		}
 	}
 	data := make([]byte, len(l.pageReg))
-	copy(data, l.pageReg)
+	copy(data, l.reg)
 	l.mp.progRows = append(l.mp.progRows, l.curRow)
 	l.mp.progData = append(l.mp.progData, data)
 	l.busyUntil = now.Add(tDBSY)
@@ -149,7 +153,7 @@ func (l *LUN) finishMPProgram(now sim.Time, slc bool) error {
 		}
 	}
 	rows := append(append([]uint32{}, l.mp.progRows...), l.curRow)
-	datas := append(append([][]byte{}, l.mp.progData...), l.pageReg)
+	datas := append(append([][]byte{}, l.mp.progData...), l.reg)
 	l.mp.progRows = nil
 	l.mp.progData = nil
 

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// loggedNet is a star network: one hub domain and n leaf domains. The
+// hub sends each leaf `rounds` jobs; a leaf holds each job for its own
+// service time before answering. Each domain logs into its own slice —
+// appended only by the owning shard — so runs at different shard counts
+// can be compared event-for-event without data races.
+type loggedNet struct {
+	c    *Cluster
+	hub  *Domain
+	logs [][]string // per-domain, owned by that domain's shard
+}
+
+func buildLoggedNet(shards, leaves, rounds int, lookahead Duration) *loggedNet {
+	c := NewCluster(shards, lookahead)
+	net := &loggedNet{c: c, hub: c.AddDomain(0), logs: make([][]string, leaves+1)}
+	for i := 0; i < leaves; i++ {
+		i := i
+		// Hub alone on shard 0, leaves spread round-robin over the rest;
+		// the mapping must not affect results.
+		shard := 0
+		if shards > 1 {
+			shard = 1 + i%(shards-1)
+		}
+		leaf := c.AddDomain(shard)
+		left := rounds
+		service := Duration(i%3+1) * 3 * Microsecond
+		var serve func()
+		serve = func() {
+			net.logs[1+i] = append(net.logs[1+i], fmt.Sprintf("leaf%d rx @%v", i, leaf.Now()))
+			leaf.Kernel().After(service, func() {
+				leaf.Post(net.hub, func() {
+					net.logs[0] = append(net.logs[0], fmt.Sprintf("done leaf%d @%v", i, net.hub.Now()))
+					left--
+					if left > 0 {
+						net.hub.Post(leaf, serve)
+					}
+				})
+			})
+		}
+		net.hub.Post(leaf, serve)
+	}
+	return net
+}
+
+func (n *loggedNet) flatLog() []string {
+	var out []string
+	for _, l := range n.logs {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// TestClusterShardInvariance pins the tentpole invariant: the event
+// history of a domain network is a pure function of the network and the
+// lookahead, independent of how domains map onto shards and how many
+// shards (goroutines) run it.
+func TestClusterShardInvariance(t *testing.T) {
+	const leaves, rounds = 5, 40
+	look := 2 * Microsecond
+	var ref []string
+	for _, shards := range []int{1, 2, 3, 6} {
+		net := buildLoggedNet(shards, leaves, rounds, look)
+		net.c.Run()
+		got := net.flatLog()
+		if len(got) != leaves*rounds*2 {
+			t.Fatalf("shards=%d: %d log entries, want %d", shards, len(got), leaves*rounds*2)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: log length %d != %d", shards, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("shards=%d: log[%d] = %q, want %q", shards, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestClusterPostLatency checks that a post lands exactly lookahead
+// after its send time, and that same-instant deliveries keep (src, seq)
+// order regardless of posting order across domains.
+func TestClusterPostLatency(t *testing.T) {
+	c := NewCluster(1, 5*Microsecond)
+	a := c.AddDomain(0)
+	b := c.AddDomain(0)
+	h := c.AddDomain(0)
+	var order []string
+	// b posts first in wall order, but a is the lower domain index, so at
+	// the shared delivery instant a's posts must run first.
+	b.Post(h, func() { order = append(order, "b1") })
+	a.Post(h, func() { order = append(order, "a1") })
+	a.Post(h, func() { order = append(order, "a2") })
+	var at Time
+	a.Post(h, func() { at = h.Now() })
+	c.Run()
+	want := []string{"a1", "a2", "b1"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+	}
+	if at != Time(5*Microsecond) {
+		t.Fatalf("post delivered at %v, want 5us", at)
+	}
+}
+
+// TestClusterChainedLatency checks accumulated hops: each reply is sent
+// lookahead after the previous delivery.
+func TestClusterChainedLatency(t *testing.T) {
+	const look = 3 * Microsecond
+	c := NewCluster(2, look)
+	a, b := c.AddDomain(0), c.AddDomain(1)
+	// Hop n lands on b (even n) or a (odd n); each closure reads only
+	// its own domain's clock — reading the other shard's mid-window is a
+	// data race by design.
+	timesA := []Time{}
+	timesB := []Time{}
+	const hops = 6
+	n := 0
+	var bounceA, bounceB func()
+	bounceA = func() {
+		timesA = append(timesA, a.Now())
+		if n++; n < hops {
+			a.Post(b, bounceB)
+		}
+	}
+	bounceB = func() {
+		timesB = append(timesB, b.Now())
+		if n++; n < hops {
+			b.Post(a, bounceA)
+		}
+	}
+	a.Post(b, bounceB)
+	c.Run()
+	// n is written alternately by both shards but every write is
+	// separated by a full post round-trip, so reading it here (after the
+	// barriers in Run) is ordered.
+	if n != hops {
+		t.Fatalf("%d hops, want %d", n, hops)
+	}
+	for i, at := range timesB {
+		if want := Time(2*i+1) * Time(look); at != want {
+			t.Fatalf("b hop %d at %v, want %v", i, at, want)
+		}
+	}
+	for i, at := range timesA {
+		if want := Time(2*i+2) * Time(look); at != want {
+			t.Fatalf("a hop %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestClusterValidation pins the constructor contracts.
+func TestClusterValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero shards", func() { NewCluster(0, Microsecond) })
+	mustPanic("zero lookahead", func() { NewCluster(1, 0) })
+	mustPanic("bad shard", func() { NewCluster(2, Microsecond).AddDomain(2) })
+}
+
+// TestClusterInterleavedLocalWork checks that dense local events across
+// several windows interleave with deliveries without ever scheduling in
+// the past (Kernel.At panics if they would).
+func TestClusterInterleavedLocalWork(t *testing.T) {
+	c := NewCluster(3, Microsecond)
+	h := c.AddDomain(0)
+	var leafs []*Domain
+	for i := 0; i < 4; i++ {
+		leafs = append(leafs, c.AddDomain(1+i%2))
+	}
+	total := 0
+	for i, leaf := range leafs {
+		leaf := leaf
+		// Local ticker: odd-period events that straddle window edges.
+		period := Duration(700+100*i) * Nanosecond
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 50 {
+				leaf.Kernel().After(period, tick)
+			} else {
+				leaf.Post(h, func() { total++ })
+			}
+		}
+		leaf.Kernel().At(0, tick)
+	}
+	c.Run()
+	if total != len(leafs) {
+		t.Fatalf("total = %d, want %d", total, len(leafs))
+	}
+}
+
+// raceDetectorEnabled is set by cluster_race_test.go under -race.
+var raceDetectorEnabled = false
+
+// TestAllocGateClusterSteadyState pins the cluster machinery's alloc
+// behavior: once outboxes and heaps reach their high-water mark, a
+// window cycle allocates nothing — posts, delivery, sorting, and the
+// barrier itself are all reuse. (The worker goroutines' channel ops
+// don't allocate either.)
+func TestAllocGateClusterSteadyState(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	c := NewCluster(2, Microsecond)
+	a, b := c.AddDomain(0), c.AddDomain(1)
+	const warmup, measured = 200, 1000
+	n := 0
+	var m1, m2 runtime.MemStats
+	var bounceA, bounceB func()
+	bounceA = func() {
+		n++
+		if n == warmup {
+			runtime.ReadMemStats(&m1)
+		}
+		if n == warmup+measured {
+			runtime.ReadMemStats(&m2)
+			return
+		}
+		a.Post(b, bounceB)
+	}
+	bounceB = func() { b.Post(a, bounceA) }
+	b.Post(a, bounceA)
+	c.Run()
+	allocs := m2.Mallocs - m1.Mallocs
+	// Each round is two posts, two deliveries, and two windows. Allow a
+	// tiny fixed slop for runtime background noise, nothing per-event.
+	if allocs > 16 {
+		t.Fatalf("steady state allocated %d objects over %d rounds, want ~0", allocs, measured)
+	}
+}

@@ -85,6 +85,21 @@ type BuildConfig struct {
 	// compare the two paths byte for byte); the switch costs ~5 allocs
 	// and a goroutine spawn per operation.
 	NoCoroPool bool
+	// Shards > 0 splits the rig across event-loop shards: the host
+	// complex on shard 0 and contiguous channel groups on the rest, run
+	// concurrently under a conservative time-window cluster (see
+	// sim.Cluster). Shards is capped at 1+Channels; Shards == 1 keeps
+	// the windowed protocol on a single kernel (the ablation baseline).
+	// Results are byte-identical at every shard count for a given
+	// HostHop; sharded rigs must be driven with Rig.Run, not Rig.Kernel.
+	Shards int
+	// HostHop is the modeled host↔channel-controller hop latency — the
+	// latency of crossing the interconnect between the host-side
+	// assembly (FTL, ECC, slot management) and a channel controller. It
+	// doubles as the cluster's lookahead: a window of HostHop can run on
+	// every shard in parallel. Defaults to 1µs when Shards > 0; setting
+	// HostHop > 0 with Shards == 0 shards fully (1+Channels).
+	HostHop sim.Duration
 }
 
 // Rig is a fully wired SSD plus handles to its parts. The singular
@@ -115,7 +130,24 @@ type Rig struct {
 	// BABOL controllers on the rig draw from it; it lives across
 	// operations, GC cycles, and fault-recovery reissues, and is closed
 	// by Rig.Close after the controllers have aborted their operations.
+	// Sharded rigs keep one pool per shard (a pool is single-threaded,
+	// and each shard is its own goroutine); CoroPool then aliases the
+	// first of CoroPools.
 	CoroPool *coro.Pool
+	// CoroPools lists every per-shard pool of a sharded rig.
+	CoroPools []*coro.Pool
+
+	// Cluster is non-nil for sharded rigs (BuildConfig.Shards > 0):
+	// Kernel is then the host shard's kernel, and the rig must be driven
+	// with Run (which runs the cluster and folds the per-domain trace
+	// buffers into Tracer/Metrics), never Kernel.Run alone.
+	Cluster *sim.Cluster
+
+	// sink and domBufs implement the sharded trace discipline: each
+	// domain traces into its own buffer (so no Tracer sees calls from
+	// two shards), and Run merges them into sink by (time, domain).
+	sink    obs.Tracer
+	domBufs []*obs.Buffer
 }
 
 // Close releases controller resources: in-flight operation coroutines
@@ -124,6 +156,12 @@ type Rig struct {
 func (r *Rig) Close() {
 	for _, c := range r.Babols {
 		c.Close()
+	}
+	if len(r.CoroPools) > 0 {
+		for _, p := range r.CoroPools {
+			p.Close()
+		}
+		return
 	}
 	if r.CoroPool != nil {
 		r.CoroPool.Close()
@@ -154,7 +192,27 @@ func Build(cfg BuildConfig) (*Rig, error) {
 		cfg.Slots = 2 * cfg.Ways * cfg.Channels
 	}
 
-	k := sim.NewKernel()
+	shards, hop := cfg.Shards, cfg.HostHop
+	if shards == 0 && hop > 0 {
+		shards = 1 + cfg.Channels
+	}
+	if shards > 0 && hop == 0 {
+		hop = sim.Microsecond
+	}
+	if max := 1 + cfg.Channels; shards > max {
+		shards = max
+	}
+
+	var cluster *sim.Cluster
+	var hostDom *sim.Domain
+	var k *sim.Kernel
+	if shards > 0 {
+		cluster = sim.NewCluster(shards, hop)
+		hostDom = cluster.AddDomain(0)
+		k = hostDom.Kernel()
+	} else {
+		k = sim.NewKernel()
+	}
 	geo := cfg.Params.Geometry
 	slotSize := geo.PageBytes + geo.SpareBytes
 	memSize := cfg.Slots*slotSize + cfg.Channels*(128<<10) // slots + per-controller scratch
@@ -164,7 +222,7 @@ func Build(cfg BuildConfig) (*Rig, error) {
 	if err != nil {
 		return nil, err
 	}
-	rig := &Rig{Kernel: k, DRAM: mem, FTL: f}
+	rig := &Rig{Kernel: k, DRAM: mem, FTL: f, Cluster: cluster}
 
 	tracer := cfg.Tracer
 	if cfg.Observe {
@@ -175,14 +233,33 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			tracer = rig.Metrics
 		}
 	}
+	if cluster != nil && tracer != nil {
+		// Sharded trace discipline: one buffer per domain, merged into
+		// the real sink (including Metrics) by Rig.Run — a Tracer must
+		// never see calls from two shards.
+		rig.sink = tracer
+		rig.domBufs = make([]*obs.Buffer, 1+cfg.Channels)
+		for i := range rig.domBufs {
+			rig.domBufs[i] = &obs.Buffer{}
+		}
+	}
 
+	poolByShard := make(map[int]*coro.Pool)
 	var backends []Backend
 	for c := 0; c < cfg.Channels; c++ {
+		chK := k
+		var chDom *sim.Domain
+		chTracer := tracer
+		if cluster != nil {
+			chDom = cluster.AddDomain(shardOf(c, cfg.Channels, shards))
+			chK = chDom.Kernel()
+			chTracer = domainTracer(rig.domBufs, 1+c)
+		}
 		var rec *wave.Recorder
 		if cfg.Record {
 			rec = wave.NewRecorder()
 		}
-		ch, err := bus.New(k, onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: cfg.RateMT}, onfi.DefaultTiming(), rec)
+		ch, err := bus.New(chK, onfi.BusConfig{Mode: onfi.NVDDR2, RateMT: cfg.RateMT}, onfi.DefaultTiming(), rec)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +269,7 @@ func Build(cfg BuildConfig) (*Rig, error) {
 				return nil, err
 			}
 			if cfg.Faults != nil {
-				if inj := cfg.Faults.Injector(c*cfg.Ways+i, obs.OnChannel(tracer, c), i); inj != nil {
+				if inj := cfg.Faults.Injector(c*cfg.Ways+i, obs.OnChannel(chTracer, c), i); inj != nil {
 					lun.SetFaults(inj)
 				}
 			}
@@ -202,7 +279,7 @@ func Build(cfg BuildConfig) (*Rig, error) {
 
 		switch cfg.Controller {
 		case CtrlHW:
-			hw := hwctrl.New(k, ch, mem)
+			hw := hwctrl.New(chK, ch, mem)
 			rig.HWs = append(rig.HWs, hw)
 			backends = append(backends, NewHWBackend(hw))
 		case CtrlBabolRTOS, CtrlBabolCoro:
@@ -210,20 +287,33 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			if cfg.Controller == CtrlBabolCoro {
 				profile = cpumodel.Coro()
 			}
-			cpu, err := cpumodel.New(k, cfg.CPUMHz, profile)
+			cpu, err := cpumodel.New(chK, cfg.CPUMHz, profile)
 			if err != nil {
 				return nil, err
 			}
-			if rig.CoroPool == nil && !cfg.NoCoroPool {
-				// One pool per rig, shared by every channel controller:
-				// they all run on this kernel's goroutine, so the pool's
-				// single-threaded contract holds across channels.
-				rig.CoroPool = coro.NewPool()
+			// One pool per shard, shared by the channel controllers on
+			// it: all of a shard's controllers run on one goroutine, so
+			// the pool's single-threaded contract holds. Unsharded rigs
+			// are one implicit shard.
+			shard := 0
+			if cluster != nil {
+				shard = shardOf(c, cfg.Channels, shards)
+			}
+			pool := poolByShard[shard]
+			if pool == nil && !cfg.NoCoroPool {
+				pool = coro.NewPool()
+				poolByShard[shard] = pool
+				if cluster != nil {
+					rig.CoroPools = append(rig.CoroPools, pool)
+				}
+				if rig.CoroPool == nil {
+					rig.CoroPool = pool
+				}
 			}
 			ctrl, err := core.New(core.Config{
-				Kernel: k, Channel: ch, DRAM: mem, CPU: cpu, TxnQueue: cfg.TxnQueue,
-				Tracer:   obs.OnChannel(tracer, c),
-				CoroPool: rig.CoroPool, DisableCoroPool: cfg.NoCoroPool,
+				Kernel: chK, Channel: ch, DRAM: mem, CPU: cpu, TxnQueue: cfg.TxnQueue,
+				Tracer:   obs.OnChannel(chTracer, c),
+				CoroPool: pool, DisableCoroPool: cfg.NoCoroPool,
 			})
 			if err != nil {
 				return nil, err
@@ -232,6 +322,11 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			backends = append(backends, NewBabolBackend(ctrl))
 		default:
 			return nil, fmt.Errorf("ssd: unknown controller kind %d", cfg.Controller)
+		}
+		if cluster != nil {
+			// Everything past this point talks to the channel through the
+			// cross-domain funnel.
+			backends[c] = wrapShard(backends[c], hostDom, chDom)
 		}
 	}
 	rig.Channel = rig.Channels[0]
@@ -248,11 +343,17 @@ func Build(cfg BuildConfig) (*Rig, error) {
 		backend = NewMultiBackend(cfg.Ways, backends)
 	}
 
+	ssdTracer := tracer
+	if cluster != nil {
+		// The SSD assembly is host-domain code; its recovery events go
+		// through the host's buffer like everything else.
+		ssdTracer = domainTracer(rig.domBufs, 0)
+	}
 	drive, err := New(Config{
 		Kernel: k, Backend: backend, FTL: f, DRAM: mem,
 		SlotBase: 0, Slots: cfg.Slots, WithECC: cfg.WithECC,
 		UseCopyback: cfg.UseCopyback, SuspendReads: cfg.SuspendReads,
-		Tracer: tracer,
+		Tracer: ssdTracer,
 	})
 	if err != nil {
 		return nil, err

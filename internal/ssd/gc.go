@@ -34,7 +34,7 @@ func (s *SSD) maybeGC(chip int) {
 // gcMove relocates live[idx:] one page at a time, then erases the victim.
 func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 	if idx >= len(live) {
-		done := func(err error) {
+		outcome := func(err error) {
 			switch {
 			case err == nil:
 				s.ftl.OnErased(chip, victim)
@@ -53,19 +53,8 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 				// re-pick the same victim forever.
 				s.ftl.RetireBlock(chip, victim)
 			}
-			// Close the urgent-read window and hand leftovers (reads
-			// that arrived after the erase's last check) to the normal
-			// path.
-			if q := s.eraseQueues[chip]; q != nil {
-				delete(s.eraseQueues, chip)
-				for {
-					ur, ok := q.next()
-					if !ok {
-						break
-					}
-					s.backend.ReadPage(chip, ur.Addr.Row, ur.DramAddr, ur.N, ur.Done)
-				}
-			}
+		}
+		tail := func() {
 			s.gcRunning[chip] = false
 			// Retry writes parked on out-of-space, then keep collecting
 			// if still under the watermark.
@@ -73,14 +62,43 @@ func (s *SSD) gcMove(chip, victim int, live []int, idx int) {
 			s.maybeGC(chip)
 		}
 		if s.suspendReads {
+			// Sharded rig: the channel's domain owns the urgent queue and
+			// restarts any leftovers itself before completing.
+			if re, ok := s.backend.(relayEraser); ok {
+				if sink, armed := re.eraseBlockRelay(chip, victim, func(err error) {
+					outcome(err)
+					delete(s.eraseQueues, chip)
+					tail()
+				}); armed {
+					s.eraseQueues[chip] = sink
+					return
+				}
+			}
+			// Same-domain backend: the erase pulls from our queue directly,
+			// and we hand leftovers (reads that arrived after the erase's
+			// last check) to the normal path on completion.
 			if ie, ok := s.backend.(InterruptibleEraser); ok {
 				q := &urgentQueue{}
 				s.eraseQueues[chip] = q
-				ie.EraseBlockInterruptible(chip, victim, q.next, done)
+				ie.EraseBlockInterruptible(chip, victim, q.next, func(err error) {
+					outcome(err)
+					delete(s.eraseQueues, chip)
+					for {
+						ur, ok := q.next()
+						if !ok {
+							break
+						}
+						s.backend.ReadPage(chip, ur.Addr.Row, ur.DramAddr, ur.N, ur.Done)
+					}
+					tail()
+				})
 				return
 			}
 		}
-		s.backend.EraseBlock(chip, victim, done)
+		s.backend.EraseBlock(chip, victim, func(err error) {
+			outcome(err)
+			tail()
+		})
 		return
 	}
 	lpn := live[idx]

@@ -1,0 +1,5 @@
+//go:build race
+
+package ssd
+
+func init() { raceDetectorEnabled = true }

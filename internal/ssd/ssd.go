@@ -127,9 +127,10 @@ type SSD struct {
 	// reads from surviving chips keep working.
 	degraded bool
 	tracer   obs.Tracer
-	// eraseQueues holds urgent reads for chips with a suspendable erase
-	// in flight.
-	eraseQueues map[int]*urgentQueue
+	// eraseQueues holds the urgent-read sink for each chip with a
+	// suspendable erase in flight: a same-domain urgentQueue on legacy
+	// rigs, a cross-domain eraseRelay on sharded ones.
+	eraseQueues map[int]urgentSink
 	// stalledWrites wait for GC to free space.
 	stalledWrites []hic.Command
 
@@ -164,7 +165,7 @@ func New(cfg Config) (*SSD, error) {
 		withECC:      cfg.WithECC,
 		useCopyback:  cfg.UseCopyback,
 		suspendReads: cfg.SuspendReads,
-		eraseQueues:  make(map[int]*urgentQueue),
+		eraseQueues:  make(map[int]urgentSink),
 		pageBytes:    geo.PageBytes,
 		parityBytes:  parity,
 		slotSize:     slotSize,

@@ -14,11 +14,13 @@ import (
 // rtfMeasure runs the BenchmarkSimulationSpeed workload shape once and
 // returns virtual-seconds per wall-second. Kept in lockstep with
 // simulationSpeed in bench_test.go: same rig, same workload scaling.
-func rtfMeasure(t *testing.T, channels, ways int) float64 {
+// shards 0 is the legacy single-kernel path; shards >= 1 runs the
+// conservative time-window cluster.
+func rtfMeasure(t *testing.T, channels, ways, shards int) float64 {
 	t.Helper()
 	rig, err := ssd.Build(ssd.BuildConfig{
 		Params: benchParams(), Channels: channels, Ways: ways, RateMT: 200,
-		Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000,
+		Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000, Shards: shards,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -35,24 +37,28 @@ func rtfMeasure(t *testing.T, channels, ways int) float64 {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rig.Kernel.Run()
+	rig.Run()
 	wall := time.Since(start).Seconds()
-	return sim.Duration(rig.Kernel.Now()).Seconds() / wall
+	return sim.Duration(rig.Now()).Seconds() / wall
 }
 
 // TestRealTimeFactorFloor is the CI gate for simulation speed: the
 // measured real-time factor must stay above the floors recorded in
-// BENCH_6.json. The floors are deliberately far below the numbers a
-// development machine measures (see BENCH_6.json's headline) — shared
+// BENCH_7.json. The floors are deliberately far below the numbers a
+// development machine measures (see BENCH_7.json's headline) — shared
 // CI runners are slow and noisy — so a failure here means a multi-x
 // regression in the event engine or the operation hot path, not
-// scheduling jitter. Gated behind RTF_FLOOR_CHECK=1 because any
+// scheduling jitter. The windowed floor additionally guards the
+// conservative-window cluster protocol: at shards=1 the window barrier
+// and mailbox machinery run with zero parallelism, so a cost blow-up in
+// that path (per-window allocation, barrier churn) fails this gate even
+// on a single-core runner. Gated behind RTF_FLOOR_CHECK=1 because any
 // wall-clock assertion is machine-dependent by nature.
 func TestRealTimeFactorFloor(t *testing.T) {
 	if os.Getenv("RTF_FLOOR_CHECK") == "" {
 		t.Skip("wall-clock floor check; enable with RTF_FLOOR_CHECK=1")
 	}
-	raw, err := os.ReadFile("BENCH_6.json")
+	raw, err := os.ReadFile("BENCH_7.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,33 +66,37 @@ func TestRealTimeFactorFloor(t *testing.T) {
 		CI struct {
 			RTFFloor1ch8way          float64 `json:"rtf_floor_1ch_8way"`
 			RTFFloorFullDrive8ch8way float64 `json:"rtf_floor_full_drive_8ch_8way"`
+			RTFFloorFullDriveWindow  float64 `json:"rtf_floor_full_drive_windowed"`
 		} `json:"ci"`
 	}
 	if err := json.Unmarshal(raw, &bench); err != nil {
 		t.Fatal(err)
 	}
-	if bench.CI.RTFFloor1ch8way <= 0 || bench.CI.RTFFloorFullDrive8ch8way <= 0 {
-		t.Fatal("BENCH_6.json ci floors missing or zero; the gate is vacuous")
+	if bench.CI.RTFFloor1ch8way <= 0 || bench.CI.RTFFloorFullDrive8ch8way <= 0 ||
+		bench.CI.RTFFloorFullDriveWindow <= 0 {
+		t.Fatal("BENCH_7.json ci floors missing or zero; the gate is vacuous")
 	}
 	for _, c := range []struct {
 		name           string
 		channels, ways int
+		shards         int
 		floor          float64
 	}{
-		{"1ch-8way", 1, 8, bench.CI.RTFFloor1ch8way},
-		{"full-drive-8ch-8way", 8, 8, bench.CI.RTFFloorFullDrive8ch8way},
+		{"1ch-8way", 1, 8, 0, bench.CI.RTFFloor1ch8way},
+		{"full-drive-8ch-8way", 8, 8, 0, bench.CI.RTFFloorFullDrive8ch8way},
+		{"full-drive-8ch-8way-windowed", 8, 8, 1, bench.CI.RTFFloorFullDriveWindow},
 	} {
 		// Best of three: the floor guards against code regressions, so
 		// one clean run is evidence enough and transient machine noise
 		// should not fail the gate.
 		best := 0.0
 		for i := 0; i < 3; i++ {
-			if rtf := rtfMeasure(t, c.channels, c.ways); rtf > best {
+			if rtf := rtfMeasure(t, c.channels, c.ways, c.shards); rtf > best {
 				best = rtf
 			}
 		}
 		if best < c.floor {
-			t.Errorf("%s: real-time factor %.2f virtual-s/wall-s below floor %.2f (BENCH_6.json)",
+			t.Errorf("%s: real-time factor %.2f virtual-s/wall-s below floor %.2f (BENCH_7.json)",
 				c.name, best, c.floor)
 		} else {
 			t.Logf("%s: %.2f virtual-s/wall-s (floor %.2f)", c.name, best, c.floor)
