@@ -491,19 +491,25 @@ func BenchmarkFig10Sweep(b *testing.B) {
 }
 
 // simulationSpeed drives one read workload on a fresh rig and returns
-// the virtual time it covered. Rig construction and preload run with
-// the timer stopped so the metric measures the discrete-event engine,
-// not DRAM zeroing. shards 0 is the legacy single-kernel path; shards
-// ≥ 1 runs the conservative time-window cluster (windowed timestamps
-// include the modeled HostHop, so virtual spans differ slightly from
-// the legacy run — the RTF ratio stays comparable).
-func simulationSpeed(b *testing.B, channels, ways, shards int, noPool bool) sim.Duration {
+// the virtual time it covered plus, on sharded rigs, the cluster's
+// window and event counts from the armed shard telemetry (zero on the
+// legacy path, which has no windows). Rig construction and preload run
+// with the timer stopped so the metric measures the discrete-event
+// engine, not DRAM zeroing. shards 0 is the legacy single-kernel path;
+// shards ≥ 1 runs the conservative time-window cluster (windowed
+// timestamps include the modeled HostHop, so virtual spans differ
+// slightly from the legacy run — the RTF ratio stays comparable).
+// Arming the telemetry is free by contract: byte-identical results and
+// ~0 allocs/event (TestShardedTelemetryInvariance,
+// TestAllocGateShardTelemetry), so the bench measures the same engine
+// users run.
+func simulationSpeed(b *testing.B, channels, ways, shards int, noPool bool) (virtual sim.Duration, windows, events uint64) {
 	b.Helper()
 	b.StopTimer()
 	rig, err := ssd.Build(ssd.BuildConfig{
 		Params: benchParams(), Channels: channels, Ways: ways, RateMT: 200,
 		Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000, NoCoroPool: noPool,
-		Shards: shards,
+		Shards: shards, ShardTelemetry: shards >= 1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -523,11 +529,18 @@ func simulationSpeed(b *testing.B, channels, ways, shards int, noPool bool) sim.
 		b.Fatal(err)
 	}
 	rig.Run()
-	virtual := sim.Duration(rig.Now())
+	virtual = sim.Duration(rig.Now())
+	if rig.Telemetry != nil {
+		snap := rig.Telemetry.Snapshot()
+		windows = snap.Windows
+		for _, s := range snap.Shards {
+			events += s.Events
+		}
+	}
 	b.StopTimer()
 	rig.Close()
 	b.StartTimer()
-	return virtual
+	return virtual, windows, events
 }
 
 // BenchmarkSimulationSpeed reports how much virtual time one wall-second
@@ -567,10 +580,21 @@ func BenchmarkSimulationSpeed(b *testing.B) {
 		b.Run(j.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var virtualPerIter sim.Duration
+			var windows, events uint64
 			for i := 0; i < b.N; i++ {
-				virtualPerIter = simulationSpeed(b, j.channels, j.ways, j.shards, j.noPool)
+				v, w, e := simulationSpeed(b, j.channels, j.ways, j.shards, j.noPool)
+				virtualPerIter = v
+				windows += w
+				events += e
 			}
 			b.ReportMetric(virtualPerIter.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "virtual-s/wall-s")
+			if windows > 0 {
+				// Windowed-protocol self-report from the armed shard
+				// telemetry: how many barrier windows the run paid for
+				// and how much event work each one bought.
+				b.ReportMetric(float64(windows)/b.Elapsed().Seconds(), "windows/s")
+				b.ReportMetric(float64(events)/float64(windows), "ev/window")
+			}
 		})
 	}
 }

@@ -37,6 +37,9 @@ func TestFlagParsing(t *testing.T) {
 		if opt.HostHop != 0 {
 			t.Errorf("default HostHop = %v, want 0 (builder default)", opt.HostHop)
 		}
+		if opt.ShardTelemetry || opt.TraceShardWindows {
+			t.Error("shard telemetry armed without -shardtrace")
+		}
 		if c.fs.Arg(0) != "fig10" {
 			t.Errorf("positional arg = %q, want fig10", c.fs.Arg(0))
 		}
@@ -56,6 +59,14 @@ func TestFlagParsing(t *testing.T) {
 		}
 		if want := sim.Duration(2.5 * float64(sim.Microsecond)); opt.HostHop != want {
 			t.Errorf("HostHop = %v, want %v", opt.HostHop, want)
+		}
+	})
+
+	t.Run("shardtrace", func(t *testing.T) {
+		opt := parse(t, "-shards", "2", "-shardtrace", "fig12").options()
+		if !opt.ShardTelemetry || !opt.TraceShardWindows {
+			t.Errorf("-shardtrace: ShardTelemetry=%v TraceShardWindows=%v, want both true",
+				opt.ShardTelemetry, opt.TraceShardWindows)
 		}
 	})
 

@@ -47,8 +47,18 @@
 // experiments run: /metrics is a JSON snapshot of the aggregated event
 // stream (updated concurrently as rigs execute, safely — the endpoint
 // aggregates through a mutex-guarded registry that does not perturb the
-// deterministic trace path), and the Go pprof handlers are mounted
-// under /debug/pprof/ for profiling the simulator itself.
+// deterministic trace path), /shards is the shard-occupancy view of the
+// same registry (per-shard busy windows and utilization, mailbox
+// traffic — populated when -shardtrace streams shard-window records
+// from sharded rigs), and the Go pprof handlers are mounted under
+// /debug/pprof/ for profiling the simulator itself. Sharded cluster
+// workers run under pprof labels (shard=N, domain=...), so /debug/pprof
+// profiles break down by shard.
+//
+// With -shards N -shardtrace, each rig also appends its shard
+// flight-recorder windows to the -trace file, and `babolbench analyze`
+// renders the shard report (per-shard utilization, barrier-cost
+// attribution, critical-path buckets, lookahead sensitivity) from them.
 package main
 
 import (
@@ -97,6 +107,7 @@ func serveIntrospection(addr string) (obs.Tracer, error) {
 	live := obs.NewSyncMetrics()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(live.Snapshot))
+	mux.Handle("/shards", obs.ShardsHandler(live.Snapshot))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -127,6 +138,7 @@ type cli struct {
 	ops       int
 	blocks    int
 	trace     string
+	shardTr   bool
 	parallel  int
 	shards    int
 	hosthopUS float64
@@ -141,13 +153,14 @@ func newCLI(errOut io.Writer) *cli {
 	c.fs.IntVar(&c.ops, "ops", 240, "host operations per measured configuration")
 	c.fs.IntVar(&c.blocks, "blocks", 64, "blocks per LUN (throughput runs do not need full arrays)")
 	c.fs.StringVar(&c.trace, "trace", "", "append controller events to this JSONL file")
+	c.fs.BoolVar(&c.shardTr, "shardtrace", false, "flush each sharded rig's shard-window flight recorder into the trace (feeds the analyze shard report and /shards; implies per-rig telemetry, needs -shards >= 1)")
 	c.fs.IntVar(&c.parallel, "parallel", 0, "rigs simulated concurrently (0 = one per CPU, 1 = serial; results are identical at any setting)")
 	c.fs.IntVar(&c.shards, "shards", -1, "event-kernel shards per rig (0 = one per CPU, 1 = windowed single kernel, -1 = legacy unsharded; results are identical at any setting >= 1)")
 	c.fs.Float64Var(&c.hosthopUS, "hosthop", 0, "modeled host<->channel hop latency in microseconds for sharded rigs (0 = the 1us default)")
 	c.fs.IntVar(&c.seeds, "seeds", 8, "number of seeded fault plans for the chaos soak")
 	c.fs.StringVar(&c.httpAddr, "http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
 	c.fs.Usage = func() {
-		fmt.Fprintf(errOut, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-shards N] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(errOut, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-shards N] [-shardtrace] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
 		fmt.Fprintf(errOut, "       babolbench [-ops N] [-seeds N] [-parallel N] [-shards N] [-trace out.jsonl] chaos\n")
 		fmt.Fprintf(errOut, "       babolbench [-csv] analyze trace.jsonl\n")
 		c.fs.PrintDefaults()
@@ -169,6 +182,10 @@ func (c *cli) options() exp.Options {
 	}
 	if c.hosthopUS > 0 {
 		opt.HostHop = sim.Duration(c.hosthopUS * float64(sim.Microsecond))
+	}
+	if c.shardTr {
+		opt.ShardTelemetry = true
+		opt.TraceShardWindows = true
 	}
 	return opt
 }

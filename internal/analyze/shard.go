@@ -1,0 +1,252 @@
+package analyze
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The shard report decodes the flight-recorder events a sharded rig
+// appends to its trace (obs.KindShardWindow / obs.KindShardMailbox)
+// into the view the multi-core tuning work reads: which shards carry
+// the load, what the conservative-window barrier costs in imbalance,
+// which shard is the critical path when, and how much a larger
+// lookahead would shrink the window count. Everything here derives from
+// virtual-time quantities — wall-clock never enters a trace — so the
+// report is as deterministic as the trace itself. The live wall-clock
+// split (exec vs. barrier per shard) is served by the rig's telemetry
+// snapshot instead (ssd.Rig.Telemetry).
+
+// ShardUtilization is one shard's aggregate across the recorded
+// windows.
+type ShardUtilization struct {
+	Shard int
+	// BusyWindows counts recorded windows in which the shard executed
+	// events; the dispatcher skips it entirely in the rest.
+	BusyWindows int
+	Events      uint64
+	// BarrierCost is the load-imbalance attribution: for every window
+	// the shard was busy in, span × (criticalEvents − events) /
+	// criticalEvents — the virtual time the shard plausibly spent
+	// waiting on the window's critical shard, assuming cost tracks
+	// event count. A shard with zero barrier cost IS the critical path.
+	BarrierCost sim.Duration
+}
+
+// ShardMailbox is one (src,dst) domain pair's post traffic.
+type ShardMailbox struct {
+	Src, Dst int
+	Posts    uint64
+	Peak     int64
+}
+
+// CriticalBucket summarizes one stretch of recorded windows: which
+// shard was most often the critical path (most events in the window)
+// and how dominant it was.
+type CriticalBucket struct {
+	FirstSeq, LastSeq uint64 // window sequence range (inclusive)
+	Shard             int    // most-often-critical shard
+	Share             float64
+}
+
+// LookaheadPoint estimates the window count at a lookahead multiple:
+// recorded windows greedily coalesced into spans of multiple×lookahead.
+// More events per window means less barrier overhead per event — the
+// knob this table exists to guide.
+type LookaheadPoint struct {
+	Multiple   int
+	Windows    int
+	MeanEvents float64
+}
+
+// ShardReport is the per-run shard view. Nil on runs without shard
+// events (unsharded rigs, or shard tracing off).
+type ShardReport struct {
+	Lookahead sim.Duration
+	// Windows is the run's total window count (highest sequence seen);
+	// Recorded is how many the bounded flight recorder kept. Truncated
+	// marks a recorder that wrapped: aggregates below cover only the
+	// recorded tail.
+	Windows   uint64
+	Recorded  int
+	Truncated bool
+	Shards    []ShardUtilization
+	Mailboxes []ShardMailbox
+	// SingleBusyShare is the fraction of recorded windows with exactly
+	// one busy shard — windows that bought no parallelism at all.
+	SingleBusyShare float64
+	CriticalPath    []CriticalBucket
+	Lookaheads      []LookaheadPoint
+}
+
+// shardWindow is one decoded flight-recorder window.
+type shardWindow struct {
+	seq    uint64
+	start  sim.Time
+	events map[int]uint64
+}
+
+// ShardReportFromEvents builds the report from one run's event stream,
+// or nil if the stream carries no shard-window events.
+func ShardReportFromEvents(events []obs.Event) *ShardReport {
+	var wins []shardWindow
+	byseq := map[uint64]int{}
+	mbox := map[[2]int]*ShardMailbox{}
+	var look sim.Duration
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindShardWindow:
+			i, ok := byseq[e.TxnID]
+			if !ok {
+				i = len(wins)
+				byseq[e.TxnID] = i
+				wins = append(wins, shardWindow{seq: e.TxnID, start: e.Time, events: map[int]uint64{}})
+			}
+			wins[i].events[e.Chip] += uint64(e.Depth)
+			if e.Dur > look {
+				look = e.Dur
+			}
+		case obs.KindShardMailbox:
+			key := [2]int{e.Channel, e.Chip}
+			mb := mbox[key]
+			if mb == nil {
+				mb = &ShardMailbox{Src: e.Channel, Dst: e.Chip}
+				mbox[key] = mb
+			}
+			mb.Posts += uint64(e.Cycles)
+			if int64(e.Depth) > mb.Peak {
+				mb.Peak = int64(e.Depth)
+			}
+		}
+	}
+	if len(wins) == 0 {
+		return nil
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].seq < wins[j].seq })
+
+	rep := &ShardReport{Lookahead: look, Recorded: len(wins)}
+	rep.Windows = wins[len(wins)-1].seq
+	rep.Truncated = wins[0].seq > 1
+
+	// Per-shard aggregates and the imbalance attribution.
+	util := map[int]*ShardUtilization{}
+	single := 0
+	for _, w := range wins {
+		var critical uint64
+		for _, n := range w.events {
+			if n > critical {
+				critical = n
+			}
+		}
+		if len(w.events) == 1 {
+			single++
+		}
+		for shard, n := range w.events {
+			u := util[shard]
+			if u == nil {
+				u = &ShardUtilization{Shard: shard}
+				util[shard] = u
+			}
+			u.BusyWindows++
+			u.Events += n
+			if critical > 0 {
+				u.BarrierCost += sim.Duration(int64(look) * int64(critical-n) / int64(critical))
+			}
+		}
+	}
+	for _, u := range util {
+		rep.Shards = append(rep.Shards, *u)
+	}
+	sort.Slice(rep.Shards, func(i, j int) bool { return rep.Shards[i].Shard < rep.Shards[j].Shard })
+	rep.SingleBusyShare = float64(single) / float64(len(wins))
+
+	for _, mb := range mbox {
+		rep.Mailboxes = append(rep.Mailboxes, *mb)
+	}
+	sort.Slice(rep.Mailboxes, func(i, j int) bool {
+		if rep.Mailboxes[i].Src != rep.Mailboxes[j].Src {
+			return rep.Mailboxes[i].Src < rep.Mailboxes[j].Src
+		}
+		return rep.Mailboxes[i].Dst < rep.Mailboxes[j].Dst
+	})
+
+	rep.CriticalPath = criticalBuckets(wins, 8)
+	rep.Lookaheads = lookaheadSweep(wins, look)
+	return rep
+}
+
+// criticalBuckets splits the recorded windows into up to n contiguous
+// buckets and names each bucket's dominant critical-path shard. Ties on
+// a window go to the lower shard index, keeping the result
+// deterministic.
+func criticalBuckets(wins []shardWindow, n int) []CriticalBucket {
+	if len(wins) < n {
+		n = len(wins)
+	}
+	var out []CriticalBucket
+	for b := 0; b < n; b++ {
+		lo, hi := b*len(wins)/n, (b+1)*len(wins)/n
+		if lo >= hi {
+			continue
+		}
+		wonBy := map[int]int{}
+		for _, w := range wins[lo:hi] {
+			crit, critN := -1, uint64(0)
+			for shard, ev := range w.events {
+				if ev > critN || (ev == critN && (crit < 0 || shard < crit)) {
+					crit, critN = shard, ev
+				}
+			}
+			wonBy[crit]++
+		}
+		best, bestN := -1, 0
+		for shard, c := range wonBy {
+			if c > bestN || (c == bestN && shard < best) {
+				best, bestN = shard, c
+			}
+		}
+		out = append(out, CriticalBucket{
+			FirstSeq: wins[lo].seq, LastSeq: wins[hi-1].seq,
+			Shard: best, Share: float64(bestN) / float64(hi-lo),
+		})
+	}
+	return out
+}
+
+// lookaheadSweep estimates how the window count would shrink at 2×, 4×,
+// and 8× the lookahead: consecutive recorded windows whose starts fall
+// within one widened span coalesce into one. It is an estimate from the
+// recorded schedule (a real lookahead change also shifts delivery
+// times), but the window-count trend is what tuning needs.
+func lookaheadSweep(wins []shardWindow, look sim.Duration) []LookaheadPoint {
+	var totalEvents uint64
+	for _, w := range wins {
+		for _, n := range w.events {
+			totalEvents += n
+		}
+	}
+	out := []LookaheadPoint{{
+		Multiple: 1, Windows: len(wins),
+		MeanEvents: float64(totalEvents) / float64(len(wins)),
+	}}
+	if look <= 0 {
+		return out
+	}
+	for _, m := range []int{2, 4, 8} {
+		span := sim.Duration(int64(look) * int64(m))
+		groups := 0
+		var groupStart sim.Time
+		for i, w := range wins {
+			if i == 0 || w.start.Sub(groupStart) >= span {
+				groups++
+				groupStart = w.start
+			}
+		}
+		out = append(out, LookaheadPoint{
+			Multiple: m, Windows: groups,
+			MeanEvents: float64(totalEvents) / float64(groups),
+		})
+	}
+	return out
+}

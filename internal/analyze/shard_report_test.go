@@ -1,0 +1,137 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hic"
+	"repro/internal/nand"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// TestShardReportFromEvents pins the report math on a hand-built
+// two-window trace: utilization, the imbalance barrier attribution,
+// single-busy share, mailbox folding, and the lookahead sweep.
+func TestShardReportFromEvents(t *testing.T) {
+	L := sim.Microsecond
+	evs := []obs.Event{
+		// Window 3 (recorder truncated: first seq > 1): shard0=4, shard1=2.
+		{Time: sim.Time(10 * L), Kind: obs.KindShardWindow, TxnID: 3, Chip: 0, Depth: 4, Dur: L},
+		{Time: sim.Time(10 * L), Kind: obs.KindShardWindow, TxnID: 3, Chip: 1, Depth: 2, Dur: L},
+		// Window 4, starting within 2L of window 3: shard0 alone.
+		{Time: sim.Time(11 * L), Kind: obs.KindShardWindow, TxnID: 4, Chip: 0, Depth: 3, Dur: L},
+		// Window 5, far away: shard1 alone.
+		{Time: sim.Time(40 * L), Kind: obs.KindShardWindow, TxnID: 5, Chip: 1, Depth: 1, Dur: L},
+		{Time: sim.Time(41 * L), Kind: obs.KindShardMailbox, Channel: 0, Chip: 1, Cycles: 7, Depth: 2},
+		{Time: sim.Time(41 * L), Kind: obs.KindShardMailbox, Channel: 0, Chip: 1, Cycles: 3, Depth: 1},
+	}
+	rep := ShardReportFromEvents(evs)
+	if rep == nil {
+		t.Fatal("nil report for a trace with shard events")
+	}
+	if rep.Windows != 5 || rep.Recorded != 3 || !rep.Truncated {
+		t.Fatalf("windows=%d recorded=%d truncated=%v, want 5/3/true", rep.Windows, rep.Recorded, rep.Truncated)
+	}
+	if rep.Lookahead != L {
+		t.Fatalf("lookahead %v, want %v", rep.Lookahead, L)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("%d shards, want 2", len(rep.Shards))
+	}
+	s0, s1 := rep.Shards[0], rep.Shards[1]
+	if s0.Shard != 0 || s0.BusyWindows != 2 || s0.Events != 7 || s0.BarrierCost != 0 {
+		t.Fatalf("shard0 = %+v", s0)
+	}
+	// Shard 1 waited (4-2)/4 of window 3 on shard 0; critical itself in
+	// window 5.
+	if s1.Shard != 1 || s1.BusyWindows != 2 || s1.Events != 3 || s1.BarrierCost != L/2 {
+		t.Fatalf("shard1 = %+v (barrier-cost want %v)", s1, L/2)
+	}
+	if want := 2.0 / 3.0; rep.SingleBusyShare != want {
+		t.Fatalf("single-busy share %v, want %v", rep.SingleBusyShare, want)
+	}
+	if len(rep.Mailboxes) != 1 || rep.Mailboxes[0].Posts != 10 || rep.Mailboxes[0].Peak != 2 {
+		t.Fatalf("mailboxes = %+v, want one 0->1 posts=10 peak=2", rep.Mailboxes)
+	}
+	// Lookahead sweep: at 2x, windows 3+4 coalesce (starts 1L apart),
+	// window 5 stands alone -> 2 groups; 4x and 8x the same here.
+	if rep.Lookaheads[0].Windows != 3 || rep.Lookaheads[1].Windows != 2 {
+		t.Fatalf("lookahead sweep = %+v, want 1x=3 2x=2", rep.Lookaheads)
+	}
+	// Critical path: 3 recorded windows -> 3 buckets; shard 0 wins the
+	// first two, shard 1 the last.
+	if len(rep.CriticalPath) != 3 || rep.CriticalPath[0].Shard != 0 || rep.CriticalPath[2].Shard != 1 {
+		t.Fatalf("critical path = %+v", rep.CriticalPath)
+	}
+
+	if ShardReportFromEvents([]obs.Event{{Kind: obs.KindOpAdmitted, OpID: 1}}) != nil {
+		t.Fatal("report invented from a trace without shard events")
+	}
+}
+
+// TestAnalyzeShardReportEndToEnd runs a sharded rig with shard tracing
+// on, analyzes the merged trace, and checks the report reaches both
+// renderers — and that a plain sharded trace (tracing off) keeps the
+// sections absent.
+func TestAnalyzeShardReportEndToEnd(t *testing.T) {
+	run := func(traceWindows bool) *Result {
+		p := nand.Hynix()
+		p.Geometry.BlocksPerLUN = 16
+		var buf obs.Buffer
+		rig, err := ssd.Build(ssd.BuildConfig{
+			Params: p, Channels: 2, Ways: 2, RateMT: 200,
+			Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000,
+			Tracer: &buf, Shards: 3, HostHop: sim.Microsecond,
+			TraceShardWindows: traceWindows,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rig.Close()
+		const reads = 48
+		if err := rig.SSD.Preload(reads); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+			Pattern: hic.Sequential, Kind: hic.KindRead,
+			NumOps: reads, QueueDepth: 8, LogicalPages: reads,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		rig.Run()
+		return Analyze(buf.Events())
+	}
+
+	a := run(true)
+	if len(a.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(a.Runs))
+	}
+	rep := a.Runs[0].Shards
+	if rep == nil {
+		t.Fatal("sharded trace with TraceShardWindows produced no shard report")
+	}
+	if rep.Windows == 0 || rep.Recorded == 0 || len(rep.Shards) == 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Windows != a.Runs[0].Metrics.ShardWindows {
+		t.Fatalf("report windows %d != metrics ShardWindows %d", rep.Windows, a.Runs[0].Metrics.ShardWindows)
+	}
+	text := a.Render()
+	if !strings.Contains(text, "shard report (run 0)") {
+		t.Fatalf("Render lacks shard report:\n%s", text)
+	}
+	csv := a.CSV()
+	if !strings.Contains(csv, "run,shard,busy_windows") || !strings.Contains(csv, "lookahead_multiple") {
+		t.Fatal("CSV lacks shard sections")
+	}
+
+	plain := run(false)
+	if plain.Runs[0].Shards != nil {
+		t.Fatal("shard report present without TraceShardWindows")
+	}
+	if strings.Contains(plain.Render(), "shard report") || strings.Contains(plain.CSV(), "busy_windows") {
+		t.Fatal("shard sections rendered for a plain trace")
+	}
+}

@@ -89,6 +89,9 @@ type Run struct {
 	Timelines map[int]*Timeline
 	// Violations is the protocol sanity pass over every timeline.
 	Violations []Violation
+	// Shards is the shard-window report for sharded traces (nil when
+	// the run carries no shard-telemetry events).
+	Shards *ShardReport
 }
 
 // Channels returns the run's channel indices in order.
@@ -124,6 +127,7 @@ func Analyze(events []obs.Event) *Result {
 	for i, run := range SplitRuns(events) {
 		r := Run{Index: i, Metrics: replay(run), Timelines: map[int]*Timeline{}}
 		r.Spans = Correlate(run)
+		r.Shards = ShardReportFromEvents(run)
 		for _, s := range r.Spans {
 			if !s.Complete {
 				r.Incomplete++

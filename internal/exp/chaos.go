@@ -87,6 +87,7 @@ func chaosRun(opt Options, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
 		WithECC: true, Tracer: tracer, Faults: &plan,
 		NoCoroPool: opt.NoCoroPool,
 		Shards:     opt.Shards, HostHop: opt.HostHop,
+		ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
 	})
 	if err != nil {
 		return ChaosPoint{}, err

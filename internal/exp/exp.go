@@ -60,6 +60,17 @@ type Options struct {
 	// HostHop is the modeled host↔channel hop latency, which doubles as
 	// the cluster lookahead (default 1 µs when Shards > 0).
 	HostHop sim.Duration
+	// ShardTelemetry arms the cluster's shard instrument on every rig
+	// (ssd.BuildConfig.ShardTelemetry). Results and traces are
+	// byte-identical armed or not — TestShardedTelemetryDeterminism pins
+	// it — so this is safe to leave on for live monitoring via Live.
+	ShardTelemetry bool
+	// TraceShardWindows additionally flushes each rig's shard
+	// flight recorder into its trace (ssd.BuildConfig.TraceShardWindows)
+	// so `babolbench analyze` can render the shard report. The extra
+	// events depend on the shard layout, so traces are comparable only
+	// across runs with equal Shards.
+	TraceShardWindows bool
 }
 
 func (o Options) withDefaults() Options {

@@ -68,6 +68,7 @@ func Fig10(opt Options) ([]Fig10Point, error) {
 			Controller: c.ctrl, CPUMHz: c.mhz, Tracer: tracer,
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
+			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
 		}, hic.Sequential, opt.Ops, 2*c.luns)
 		if err != nil {
 			return fmt.Errorf("fig10 %s %dMT %v %dMHz %dLUN: %w",

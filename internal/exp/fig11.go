@@ -48,6 +48,7 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 			Controller: kind, CPUMHz: 1000, Record: true, Tracer: tracer,
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
+			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
 		})
 		if err != nil {
 			return err

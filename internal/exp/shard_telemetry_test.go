@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestShardedTelemetryDeterminism is the harness-level half of the
+// telemetry invariant: arming ShardTelemetry on whole figure sweeps —
+// every shard count, through the parallel worker pool — changes neither
+// the CSVs nor a byte of the merged JSONL traces. The per-rig invariant
+// lives in ssd.TestShardedTelemetryInvariance; this proves the arming
+// path composes with sweep merging and parallel workers.
+// (TraceShardWindows is deliberately NOT part of this invariant: it
+// appends shard-layout-dependent events, so it is exercised separately
+// below.)
+func TestShardedTelemetryDeterminism(t *testing.T) {
+	type figure struct {
+		name string
+		run  func(Options) (string, error)
+	}
+	figures := []figure{
+		{"fig10", func(o Options) (string, error) {
+			pts, err := Fig10(o)
+			if err != nil {
+				return "", err
+			}
+			return Fig10CSV(pts), nil
+		}},
+		{"fig11", func(o Options) (string, error) {
+			res, err := Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		}},
+		{"fig12", func(o Options) (string, error) {
+			pts, err := Fig12(o)
+			if err != nil {
+				return "", err
+			}
+			return Fig12CSV(pts), nil
+		}},
+	}
+	for _, fig := range figures {
+		t.Run(fig.name, func(t *testing.T) {
+			for _, shards := range shardCounts {
+				var refCSV string
+				var refTrace []byte
+				for i, telemetry := range []bool{false, true} {
+					opt := shardQuick()
+					opt.Shards = shards
+					opt.ShardTelemetry = telemetry
+					var csv string
+					trace := traceRun(t, opt, func(o Options) error {
+						var err error
+						csv, err = fig.run(o)
+						return err
+					})
+					if i == 0 {
+						refCSV, refTrace = csv, trace
+						if len(trace) == 0 {
+							t.Fatalf("%s trace is empty; determinism check is vacuous", fig.name)
+						}
+						continue
+					}
+					if csv != refCSV {
+						t.Errorf("%s results at shards=%d changed when telemetry armed", fig.name, shards)
+					}
+					if !bytes.Equal(trace, refTrace) {
+						t.Errorf("%s merged trace at shards=%d changed when telemetry armed", fig.name, shards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTelemetryTraceWindows pins the opt-in trace flush at the
+// harness level: with TraceShardWindows set on a sharded sweep, the
+// merged trace grows shard-window records but the figure results stay
+// byte-identical to the plain sharded run.
+func TestShardedTelemetryTraceWindows(t *testing.T) {
+	run := func(traceWindows bool) (string, []byte) {
+		opt := shardQuick()
+		opt.Shards = 2
+		opt.TraceShardWindows = traceWindows
+		var csv string
+		trace := traceRun(t, opt, func(o Options) error {
+			pts, err := Fig12(o)
+			if err == nil {
+				csv = Fig12CSV(pts)
+			}
+			return err
+		})
+		return csv, trace
+	}
+	plainCSV, plainTrace := run(false)
+	tracedCSV, tracedTrace := run(true)
+	if tracedCSV != plainCSV {
+		t.Error("fig12 CSV changed when TraceShardWindows set")
+	}
+	if !bytes.Contains(tracedTrace, []byte(`"shard-window"`)) {
+		t.Error("traced sweep carries no shard-window events")
+	}
+	if bytes.Contains(plainTrace, []byte(`"shard-window"`)) {
+		t.Error("plain sweep leaked shard-window events")
+	}
+	if len(tracedTrace) <= len(plainTrace) {
+		t.Error("traced sweep is not longer than the plain sweep")
+	}
+}

@@ -92,6 +92,7 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 			Observe: true, Tracer: rigTracer,
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
+			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
 		})
 		if err != nil {
 			return err

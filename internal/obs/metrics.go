@@ -82,6 +82,29 @@ type ChipMetrics struct {
 	Recoveries uint64
 }
 
+// ShardMetrics aggregates one shard's window activity from
+// KindShardWindow events (per-domain labels come from the shard→domain
+// mapping recorded at build time; the shard index is the stable key).
+type ShardMetrics struct {
+	// BusyWindows counts windows in which the shard executed events.
+	BusyWindows uint64
+	// Events is the total events the shard executed across its windows.
+	Events uint64
+}
+
+// MailboxKey addresses per-(src,dst) domain pair mailbox metrics.
+type MailboxKey struct {
+	Src int
+	Dst int
+}
+
+// MailboxMetrics aggregates one domain pair's cross-shard posts from
+// KindShardMailbox events.
+type MailboxMetrics struct {
+	Posts uint64
+	Peak  int64
+}
+
 // ChannelMetrics aggregates one channel's activity.
 type ChannelMetrics struct {
 	TxnsEnqueued uint64
@@ -144,6 +167,18 @@ type Snapshot struct {
 	// read-only).
 	Recoveries        uint64
 	RecoveriesByLabel map[string]uint64
+
+	// ShardWindows is the highest window sequence number observed —
+	// the number of cluster synchronization windows covered by the
+	// flight-recorder events in the stream. Shards, WindowEvents, and
+	// Mailboxes aggregate the KindShardWindow/KindShardMailbox events
+	// of sharded runs; all are empty for single-kernel traces.
+	ShardWindows uint64
+	Shards       map[int]ShardMetrics
+	// WindowEvents is the distribution of events per (window, busy
+	// shard) — the occupancy histogram behind window-dispatch tuning.
+	WindowEvents Histogram
+	Mailboxes    map[MailboxKey]MailboxMetrics
 
 	Channels map[int]ChannelMetrics
 	Chips    map[ChipKey]ChipMetrics
@@ -231,6 +266,11 @@ type Metrics struct {
 	recoveries uint64
 	recovsBy   map[string]uint64
 
+	shardWindows uint64
+	shards       map[int]*ShardMetrics
+	windowEvents Histogram
+	mailboxes    map[MailboxKey]MailboxMetrics
+
 	channels map[int]*ChannelMetrics
 	chips    map[ChipKey]*ChipMetrics
 }
@@ -238,11 +278,13 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		charges:  make(map[string]ChargeStats),
-		faultsBy: make(map[string]uint64),
-		recovsBy: make(map[string]uint64),
-		channels: make(map[int]*ChannelMetrics),
-		chips:    make(map[ChipKey]*ChipMetrics),
+		charges:   make(map[string]ChargeStats),
+		faultsBy:  make(map[string]uint64),
+		recovsBy:  make(map[string]uint64),
+		shards:    make(map[int]*ShardMetrics),
+		mailboxes: make(map[MailboxKey]MailboxMetrics),
+		channels:  make(map[int]*ChannelMetrics),
+		chips:     make(map[ChipKey]*ChipMetrics),
 	}
 }
 
@@ -319,6 +361,26 @@ func (m *Metrics) Event(e Event) {
 		m.recoveries++
 		m.recovsBy[e.Label]++
 		m.chip(e).Recoveries++
+	case KindShardWindow:
+		if e.TxnID > m.shardWindows {
+			m.shardWindows = e.TxnID
+		}
+		s := m.shards[e.Chip]
+		if s == nil {
+			s = &ShardMetrics{}
+			m.shards[e.Chip] = s
+		}
+		s.BusyWindows++
+		s.Events += uint64(e.Depth)
+		m.windowEvents.Observe(int64(e.Depth))
+	case KindShardMailbox:
+		k := MailboxKey{Src: e.Channel, Dst: e.Chip}
+		mb := m.mailboxes[k]
+		mb.Posts += uint64(e.Cycles)
+		if int64(e.Depth) > mb.Peak {
+			mb.Peak = int64(e.Depth)
+		}
+		m.mailboxes[k] = mb
 	}
 }
 
@@ -366,9 +428,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		OpLatency:         m.opLatency,
 		Faults:            m.faults,
 		Recoveries:        m.recoveries,
+		ShardWindows:      m.shardWindows,
+		WindowEvents:      m.windowEvents,
 		Charges:           make(map[string]ChargeStats, len(m.charges)),
 		FaultsByLabel:     make(map[string]uint64, len(m.faultsBy)),
 		RecoveriesByLabel: make(map[string]uint64, len(m.recovsBy)),
+		Shards:            make(map[int]ShardMetrics, len(m.shards)),
+		Mailboxes:         make(map[MailboxKey]MailboxMetrics, len(m.mailboxes)),
 		Channels:          make(map[int]ChannelMetrics, len(m.channels)),
 		Chips:             make(map[ChipKey]ChipMetrics, len(m.chips)),
 	}
@@ -380,6 +446,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.recovsBy {
 		out.RecoveriesByLabel[k] = v
+	}
+	for k, v := range m.shards {
+		out.Shards[k] = *v
+	}
+	for k, v := range m.mailboxes {
+		out.Mailboxes[k] = v
 	}
 	for k, v := range m.channels {
 		out.Channels[k] = *v

@@ -1,0 +1,49 @@
+package obs
+
+import "repro/internal/sim"
+
+// EmitShardTelemetry replays a cluster telemetry snapshot into the
+// event stream: one KindShardWindow event per (window, busy shard) from
+// the flight recorder, oldest window first and shards in ascending
+// order, then one KindShardMailbox aggregate per (src,dst) pair with
+// traffic. `at` stamps the mailbox aggregates (the run's end time).
+//
+// Only virtual-time quantities from the snapshot are emitted — the
+// wall-clock exec/barrier attribution stays in the snapshot for the
+// live /shards endpoint — so the emitted events are a deterministic
+// function of the simulation, and a trace with shard events enabled is
+// reproducible run over run.
+//
+// The flight recorder is bounded: when snap.Windows exceeds the
+// recorder depth the oldest windows are gone, which downstream
+// consumers detect by the first record's Seq being greater than 1.
+func EmitShardTelemetry(t Tracer, snap sim.TelemetrySnapshot, at sim.Time) {
+	if t == nil {
+		return
+	}
+	for _, rec := range snap.Recent {
+		for shard, n := range rec.Events {
+			if n == 0 {
+				continue
+			}
+			t.Event(Event{
+				Time:  rec.Start,
+				Kind:  KindShardWindow,
+				TxnID: rec.Seq,
+				Chip:  shard,
+				Depth: int(n),
+				Dur:   rec.Span,
+			})
+		}
+	}
+	for _, mb := range snap.Mailboxes {
+		t.Event(Event{
+			Time:    at,
+			Kind:    KindShardMailbox,
+			Channel: mb.Src,
+			Chip:    mb.Dst,
+			Cycles:  int64(mb.Posts),
+			Depth:   int(mb.Peak),
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// telemetrySnapshotFixture is a hand-built two-shard snapshot: shard 0
+// busy in both recorded windows, shard 1 in one, two mailbox pairs.
+func telemetrySnapshotFixture() sim.TelemetrySnapshot {
+	return sim.TelemetrySnapshot{
+		Lookahead: sim.Microsecond,
+		Windows:   7,
+		Recent: []sim.WindowRecord{
+			{Seq: 6, Start: sim.Time(10 * sim.Microsecond), Span: sim.Microsecond, Busy: 2, Events: []uint64{3, 5}},
+			{Seq: 7, Start: sim.Time(12 * sim.Microsecond), Span: sim.Microsecond, Busy: 1, Events: []uint64{2, 0}},
+		},
+		Mailboxes: []sim.MailboxStats{
+			{Src: 0, Dst: 1, Posts: 11, Peak: 2},
+			{Src: 1, Dst: 0, Posts: 9, Peak: 1},
+		},
+	}
+}
+
+// TestEmitShardTelemetry pins the event mapping and its deterministic
+// order: windows oldest-first, shards ascending, only busy shards, then
+// mailbox aggregates.
+func TestEmitShardTelemetry(t *testing.T) {
+	var buf Buffer
+	end := sim.Time(13 * sim.Microsecond)
+	EmitShardTelemetry(&buf, telemetrySnapshotFixture(), end)
+	want := []Event{
+		{Time: sim.Time(10 * sim.Microsecond), Kind: KindShardWindow, TxnID: 6, Chip: 0, Depth: 3, Dur: sim.Microsecond},
+		{Time: sim.Time(10 * sim.Microsecond), Kind: KindShardWindow, TxnID: 6, Chip: 1, Depth: 5, Dur: sim.Microsecond},
+		{Time: sim.Time(12 * sim.Microsecond), Kind: KindShardWindow, TxnID: 7, Chip: 0, Depth: 2, Dur: sim.Microsecond},
+		{Time: end, Kind: KindShardMailbox, Channel: 0, Chip: 1, Cycles: 11, Depth: 2},
+		{Time: end, Kind: KindShardMailbox, Channel: 1, Chip: 0, Cycles: 9, Depth: 1},
+	}
+	if !reflect.DeepEqual(buf.Events(), want) {
+		t.Fatalf("emitted %+v\nwant %+v", buf.Events(), want)
+	}
+	// Nil tracer: the disarmed path must be a no-op, not a panic.
+	EmitShardTelemetry(nil, telemetrySnapshotFixture(), end)
+}
+
+// TestMetricsShardAggregation pins how the registry folds shard events:
+// window total from the max sequence, busy/event sums per shard, and
+// posts/peak per mailbox pair.
+func TestMetricsShardAggregation(t *testing.T) {
+	m := NewMetrics()
+	var buf Buffer
+	EmitShardTelemetry(&buf, telemetrySnapshotFixture(), sim.Time(13*sim.Microsecond))
+	m.Replay(buf.Events())
+	s := m.Snapshot()
+	if s.ShardWindows != 7 {
+		t.Fatalf("ShardWindows = %d, want 7 (max seq)", s.ShardWindows)
+	}
+	if got, want := s.Shards[0], (ShardMetrics{BusyWindows: 2, Events: 5}); got != want {
+		t.Fatalf("shard 0 = %+v, want %+v", got, want)
+	}
+	if got, want := s.Shards[1], (ShardMetrics{BusyWindows: 1, Events: 5}); got != want {
+		t.Fatalf("shard 1 = %+v, want %+v", got, want)
+	}
+	if s.WindowEvents.Count != 3 || s.WindowEvents.Sum != 10 {
+		t.Fatalf("WindowEvents count=%d sum=%d, want 3/10", s.WindowEvents.Count, s.WindowEvents.Sum)
+	}
+	if got, want := s.Mailboxes[MailboxKey{Src: 0, Dst: 1}], (MailboxMetrics{Posts: 11, Peak: 2}); got != want {
+		t.Fatalf("mailbox 0->1 = %+v, want %+v", got, want)
+	}
+	if got, want := s.Mailboxes[MailboxKey{Src: 1, Dst: 0}], (MailboxMetrics{Posts: 9, Peak: 1}); got != want {
+		t.Fatalf("mailbox 1->0 = %+v, want %+v", got, want)
+	}
+}
+
+// TestShardEventsJSONLRoundTrip pins the wire names of the new kinds.
+func TestShardEventsJSONLRoundTrip(t *testing.T) {
+	var buf Buffer
+	EmitShardTelemetry(&buf, telemetrySnapshotFixture(), sim.Time(13*sim.Microsecond))
+	var wire bytes.Buffer
+	w := NewJSONLWriter(&wire)
+	for _, e := range buf.Events() {
+		w.Event(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, buf.Events()) {
+		t.Fatalf("round trip mismatch:\n%+v\nwant %+v", back, buf.Events())
+	}
+}
+
+// TestShardsHandler pins the /shards JSON wire shape.
+func TestShardsHandler(t *testing.T) {
+	sm := NewSyncMetrics()
+	EmitShardTelemetry(sm, telemetrySnapshotFixture(), sim.Time(13*sim.Microsecond))
+	h := ShardsHandler(sm.Snapshot)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/shards", nil))
+	var got struct {
+		Windows uint64 `json:"windows"`
+		Shards  []struct {
+			Shard       int     `json:"shard"`
+			BusyWindows uint64  `json:"busy_windows"`
+			Events      uint64  `json:"events"`
+			Utilization float64 `json:"utilization"`
+		} `json:"shards"`
+		WindowEvents struct {
+			Count uint64 `json:"count"`
+		} `json:"window_events"`
+		Mailboxes []struct {
+			Src   int    `json:"src"`
+			Dst   int    `json:"dst"`
+			Posts uint64 `json:"posts"`
+			Peak  int64  `json:"peak_depth"`
+		} `json:"mailboxes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got.Windows != 7 || len(got.Shards) != 2 || len(got.Mailboxes) != 2 {
+		t.Fatalf("windows=%d shards=%d mailboxes=%d, want 7/2/2\n%s",
+			got.Windows, len(got.Shards), len(got.Mailboxes), rec.Body.String())
+	}
+	if got.Shards[0].Shard != 0 || got.Shards[1].Shard != 1 {
+		t.Fatalf("shards not sorted: %+v", got.Shards)
+	}
+	if got.Shards[1].Utilization != 1.0/7.0 {
+		t.Fatalf("shard 1 utilization %v, want 1/7", got.Shards[1].Utilization)
+	}
+	if got.WindowEvents.Count != 3 {
+		t.Fatalf("window_events.count = %d, want 3", got.WindowEvents.Count)
+	}
+	if got.Mailboxes[0].Src != 0 || got.Mailboxes[0].Posts != 11 || got.Mailboxes[0].Peak != 2 {
+		t.Fatalf("mailboxes[0] = %+v", got.Mailboxes[0])
+	}
+}

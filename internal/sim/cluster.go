@@ -1,6 +1,13 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
 
 // Cluster coordinates several Kernels — shards — under a conservative
 // time-window protocol, so a multi-channel simulation can run its
@@ -43,16 +50,25 @@ type Cluster struct {
 	workers []clusterWorker
 	// dispatched is runWindow's scratch list of busy worker indices.
 	dispatched []int
-	windows    uint64
-	posts      uint64
+	// windows and posts are atomics so monitoring goroutines (the live
+	// /shards endpoint, tests polling progress) can read them while Run
+	// is in flight; the coordinator is the only writer.
+	windows atomic.Uint64
+	posts   atomic.Uint64
+	// telem is the nil-check-disarmed telemetry hook: nil costs one
+	// branch per window, armed costs a handful of atomic adds. See
+	// ArmTelemetry in telemetry.go.
+	telem *Telemetry
 }
 
 // Windows reports how many synchronization windows Run has executed —
 // the cluster's overhead metric (each window is one barrier round).
-func (c *Cluster) Windows() uint64 { return c.windows }
+// Safe to call from any goroutine, including while Run is in flight.
+func (c *Cluster) Windows() uint64 { return c.windows.Load() }
 
-// Posts reports how many cross-domain posts have been collected.
-func (c *Cluster) Posts() uint64 { return c.posts }
+// Posts reports how many cross-domain posts have been collected. Safe
+// to call from any goroutine, including while Run is in flight.
+func (c *Cluster) Posts() uint64 { return c.posts.Load() }
 
 // Domain is one single-threaded region of the simulation: its events
 // run on its shard's kernel, and everything it shares with other
@@ -111,6 +127,9 @@ func (c *Cluster) AddDomain(shard int) *Domain {
 	if shard < 0 || shard >= len(c.kernels) {
 		panic(fmt.Sprintf("sim: domain on shard %d of %d", shard, len(c.kernels)))
 	}
+	if c.telem != nil {
+		panic("sim: AddDomain after ArmTelemetry; arm after the domain graph is built")
+	}
 	d := &Domain{c: c, idx: len(c.domains), shard: shard, k: c.kernels[shard]}
 	c.domains = append(c.domains, d)
 	return d
@@ -154,8 +173,14 @@ func (c *Cluster) Run() {
 		// lookahead ≥ 1 tick, so the last covered instant is start+L-1.
 		deadline := start.Add(c.lookahead - 1)
 		c.deliver(deadline)
-		c.windows++
+		c.windows.Add(1)
+		if t := c.telem; t != nil {
+			t.winStart = time.Now()
+		}
 		c.runWindow(deadline)
+		if t := c.telem; t != nil {
+			t.record(c, start)
+		}
 	}
 }
 
@@ -167,7 +192,10 @@ func (c *Cluster) collect() {
 	for _, d := range c.domains {
 		if len(d.outbox) > 0 {
 			c.pending = append(c.pending, d.outbox...)
-			c.posts += uint64(len(d.outbox))
+			c.posts.Add(uint64(len(d.outbox)))
+			if t := c.telem; t != nil {
+				t.noteCollected(d.outbox)
+			}
 			clearPosts(d.outbox)
 			d.outbox = d.outbox[:0]
 			grew = true
@@ -205,6 +233,9 @@ func (c *Cluster) deliver(deadline Time) {
 		n++
 	}
 	if n > 0 {
+		if t := c.telem; t != nil {
+			t.noteDelivered(c.pending[:n])
+		}
 		rem := copy(c.pending, c.pending[n:])
 		clearPosts(c.pending[rem:])
 		c.pending = c.pending[:rem]
@@ -220,7 +251,7 @@ func (c *Cluster) deliver(deadline Time) {
 // the per-window barrier cost from O(shards) into O(busy shards).
 func (c *Cluster) runWindow(deadline Time) {
 	if len(c.workers) == 0 {
-		c.kernels[0].RunUntil(deadline)
+		c.runShard0(deadline)
 		return
 	}
 	busy := c.dispatched[:0]
@@ -234,12 +265,25 @@ func (c *Cluster) runWindow(deadline Time) {
 		}
 	}
 	if at, ok := c.kernels[0].peek(); ok && at <= deadline {
-		c.kernels[0].RunUntil(deadline)
+		c.runShard0(deadline)
 	}
 	for _, i := range busy {
 		<-c.workers[i].done
 	}
 	c.dispatched = busy[:0]
+}
+
+// runShard0 runs shard 0 on the coordinator's goroutine, timing the
+// execution when telemetry is armed so record() can split window wall
+// time into exec vs. barrier wait.
+func (c *Cluster) runShard0(deadline Time) {
+	if t := c.telem; t != nil {
+		start := time.Now()
+		c.kernels[0].RunUntil(deadline)
+		t.slots[0].lastExecNs.Store(int64(time.Since(start)))
+		return
+	}
+	c.kernels[0].RunUntil(deadline)
 }
 
 // clusterWorker owns one shard's kernel for the duration of each
@@ -252,16 +296,68 @@ type clusterWorker struct {
 }
 
 func (c *Cluster) startWorkers() {
-	for _, k := range c.kernels[1:] {
+	for i, k := range c.kernels[1:] {
+		shard := i + 1
 		w := clusterWorker{run: make(chan Time, 1), done: make(chan struct{}, 1)}
 		c.workers = append(c.workers, w)
-		go func(k *Kernel, w clusterWorker) {
-			for deadline := range w.run {
-				k.RunUntil(deadline)
-				w.done <- struct{}{}
-			}
-		}(k, w)
+		// Each worker carries pprof labels so CPU profiles attribute
+		// samples by shard and by the domains it hosts. Telemetry is
+		// captured here: workers are created at the top of each Run, after
+		// any ArmTelemetry call.
+		var slot *telemetrySlot
+		if c.telem != nil {
+			slot = &c.telem.slots[shard]
+		}
+		labels := pprof.Labels("shard", strconv.Itoa(shard), "domain", c.domainLabel(shard))
+		go func(k *Kernel, w clusterWorker, slot *telemetrySlot) {
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for deadline := range w.run {
+					if slot != nil {
+						start := time.Now()
+						k.RunUntil(deadline)
+						slot.lastExecNs.Store(int64(time.Since(start)))
+					} else {
+						k.RunUntil(deadline)
+					}
+					w.done <- struct{}{}
+				}
+			})
+		}(k, w, slot)
 	}
+}
+
+// domainLabel names the domains hosted on a shard for pprof labels:
+// "2" for a single domain, "2-4" for a contiguous run, "1,3,5" worst
+// case. Runs once per worker at startup, so the allocations don't touch
+// the steady-state path.
+func (c *Cluster) domainLabel(shard int) string {
+	var idx []int
+	for _, d := range c.domains {
+		if d.shard == shard {
+			idx = append(idx, d.idx)
+		}
+	}
+	if len(idx) == 0 {
+		return "none"
+	}
+	contiguous := true
+	for i := 1; i < len(idx); i++ {
+		if idx[i] != idx[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if len(idx) == 1 {
+		return strconv.Itoa(idx[0])
+	}
+	if contiguous {
+		return strconv.Itoa(idx[0]) + "-" + strconv.Itoa(idx[len(idx)-1])
+	}
+	s := strconv.Itoa(idx[0])
+	for _, d := range idx[1:] {
+		s += "," + strconv.Itoa(d)
+	}
+	return s
 }
 
 func (c *Cluster) stopWorkers() {

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// pingPong builds the 2-shard ping-pong used by the alloc gates: a and
+// b exchange one post per half-round for `rounds` rounds.
+func pingPong(rounds int) (*Cluster, *int) {
+	c := NewCluster(2, Microsecond)
+	a, b := c.AddDomain(0), c.AddDomain(1)
+	n := new(int)
+	var bounceA, bounceB func()
+	bounceA = func() {
+		*n++
+		if *n < rounds {
+			a.Post(b, bounceB)
+		}
+	}
+	bounceB = func() { b.Post(a, bounceA) }
+	b.Post(a, bounceA)
+	return c, n
+}
+
+// TestClusterTelemetryCounters pins the armed counters against the
+// cluster's own accounting on a deterministic ping-pong: totals, per
+// window occupancy, and mailbox posts/depth/peak all have exact
+// expected values.
+func TestClusterTelemetryCounters(t *testing.T) {
+	const rounds = 40
+	c, _ := pingPong(rounds)
+	tel := c.ArmTelemetry(0)
+	c.Run()
+	snap := tel.Snapshot()
+
+	if snap.Windows != c.Windows() {
+		t.Fatalf("snapshot windows %d != cluster windows %d", snap.Windows, c.Windows())
+	}
+	if snap.Lookahead != Microsecond {
+		t.Fatalf("lookahead %v, want 1us", snap.Lookahead)
+	}
+	var events uint64
+	for i, s := range snap.Shards {
+		events += s.Events
+		if want := c.Kernel(i).Executed(); s.Events != want {
+			t.Fatalf("shard %d events %d, want kernel executed %d", i, s.Events, want)
+		}
+		if s.BusyWindows+s.SkippedWindows != snap.Windows {
+			t.Fatalf("shard %d busy %d + skipped %d != windows %d",
+				i, s.BusyWindows, s.SkippedWindows, snap.Windows)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Ping-pong alternates: exactly one shard busy per window.
+	for _, rec := range snap.Recent {
+		if rec.Busy != 1 {
+			t.Fatalf("window %d: busy %d, want 1 (%v)", rec.Seq, rec.Busy, rec.Events)
+		}
+		if rec.Span != Microsecond {
+			t.Fatalf("window %d: span %v, want 1us", rec.Seq, rec.Span)
+		}
+		var sum uint64
+		for _, e := range rec.Events {
+			sum += e
+		}
+		if sum == 0 {
+			t.Fatalf("window %d: no events in record", rec.Seq)
+		}
+	}
+	var posts uint64
+	for _, mb := range snap.Mailboxes {
+		posts += mb.Posts
+		if mb.Depth != 0 {
+			t.Fatalf("mailbox %d->%d: depth %d after quiescence", mb.Src, mb.Dst, mb.Depth)
+		}
+		if mb.Peak != 1 {
+			t.Fatalf("mailbox %d->%d: peak %d, want 1 (one post in flight at a time)",
+				mb.Src, mb.Dst, mb.Peak)
+		}
+	}
+	if posts != c.Posts() {
+		t.Fatalf("mailbox posts %d != cluster posts %d", posts, c.Posts())
+	}
+	if len(snap.Mailboxes) != 2 {
+		t.Fatalf("%d mailbox pairs, want 2 (a->b, b->a)", len(snap.Mailboxes))
+	}
+}
+
+// TestClusterTelemetryFlightRecorder pins the ring semantics: the
+// recorder keeps exactly the last N windows, oldest first, with
+// contiguous sequence numbers ending at the window total.
+func TestClusterTelemetryFlightRecorder(t *testing.T) {
+	c, _ := pingPong(40)
+	tel := c.ArmTelemetry(4)
+	c.Run()
+	snap := tel.Snapshot()
+	if snap.Windows <= 4 {
+		t.Fatalf("only %d windows; test needs the ring to wrap", snap.Windows)
+	}
+	if len(snap.Recent) != 4 {
+		t.Fatalf("%d records, want 4", len(snap.Recent))
+	}
+	for j, rec := range snap.Recent {
+		if want := snap.Windows - 3 + uint64(j); rec.Seq != want {
+			t.Fatalf("record %d: seq %d, want %d", j, rec.Seq, want)
+		}
+	}
+	if last := snap.Recent[3]; last.Seq != snap.Windows {
+		t.Fatalf("newest record seq %d != windows %d", last.Seq, snap.Windows)
+	}
+}
+
+// TestClusterTelemetryInvariance pins the Flashmon-style contract: the
+// armed instrument must not perturb the simulation it observes. The
+// event history with telemetry armed is identical to the unarmed run.
+func TestClusterTelemetryInvariance(t *testing.T) {
+	const leaves, rounds = 5, 40
+	look := 2 * Microsecond
+	plain := buildLoggedNet(3, leaves, rounds, look)
+	plain.c.Run()
+	ref := plain.flatLog()
+
+	armed := buildLoggedNet(3, leaves, rounds, look)
+	armed.c.ArmTelemetry(16)
+	armed.c.Run()
+	got := armed.flatLog()
+	if len(got) != len(ref) {
+		t.Fatalf("armed log length %d != %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("armed log[%d] = %q, want %q", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestClusterTelemetryConcurrentReads is the -race pin for the
+// satellite fix: Windows, Posts, and Snapshot are documented safe from
+// any goroutine while Run is in flight. Under -race this fails loudly
+// if any of those reads race the coordinator or a shard worker.
+func TestClusterTelemetryConcurrentReads(t *testing.T) {
+	net := buildLoggedNet(3, 6, 300, 2*Microsecond)
+	tel := net.c.ArmTelemetry(64)
+	done := make(chan struct{})
+	go func() {
+		net.c.Run()
+		close(done)
+	}()
+	reads := 0
+	for {
+		_ = net.c.Windows()
+		_ = net.c.Posts()
+		snap := tel.Snapshot()
+		if snap.Windows > 0 && len(snap.Recent) == 0 {
+			t.Error("windows counted but flight recorder empty")
+		}
+		reads++
+		select {
+		case <-done:
+			if net.c.Windows() == 0 || reads == 0 {
+				t.Fatalf("vacuous run: windows=%d reads=%d", net.c.Windows(), reads)
+			}
+			snap := tel.Snapshot()
+			if snap.Windows != net.c.Windows() {
+				t.Fatalf("final snapshot windows %d != %d", snap.Windows, net.c.Windows())
+			}
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestClusterTelemetryArmAfterDomains pins the arming contract.
+func TestClusterTelemetryArmAfterDomains(t *testing.T) {
+	c := NewCluster(2, Microsecond)
+	c.AddDomain(0)
+	c.ArmTelemetry(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDomain after ArmTelemetry did not panic")
+		}
+	}()
+	c.AddDomain(1)
+}
+
+// TestAllocGateShardTelemetry is the armed twin of
+// TestAllocGateClusterSteadyState: with the flight recorder, mailbox
+// accounting, and wall-clock attribution all live, a steady-state
+// window cycle still allocates nothing — same ceiling as unarmed.
+func TestAllocGateShardTelemetry(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	c := NewCluster(2, Microsecond)
+	a, b := c.AddDomain(0), c.AddDomain(1)
+	const warmup, measured = 200, 1000
+	n := 0
+	var m1, m2 runtime.MemStats
+	var bounceA, bounceB func()
+	bounceA = func() {
+		n++
+		if n == warmup {
+			runtime.ReadMemStats(&m1)
+		}
+		if n == warmup+measured {
+			runtime.ReadMemStats(&m2)
+			return
+		}
+		a.Post(b, bounceB)
+	}
+	bounceB = func() { b.Post(a, bounceA) }
+	b.Post(a, bounceA)
+	c.ArmTelemetry(128)
+	c.Run()
+	allocs := m2.Mallocs - m1.Mallocs
+	if allocs > 16 {
+		t.Fatalf("armed steady state allocated %d objects over %d rounds, want ~0",
+			allocs, measured)
+	}
+}

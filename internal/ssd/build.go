@@ -100,6 +100,28 @@ type BuildConfig struct {
 	// every shard in parallel. Defaults to 1µs when Shards > 0; setting
 	// HostHop > 0 with Shards == 0 shards fully (1+Channels).
 	HostHop sim.Duration
+	// ShardTelemetry arms the cluster's shard instrument (sharded rigs
+	// only): per-shard window occupancy and barrier/exec wall-clock,
+	// per-(src,dst) mailbox accounting, and a flight recorder of recent
+	// windows, all readable live via Rig.Telemetry.Snapshot while Run is
+	// in flight. Mirrors the fault injector's nil-check-disarmed idiom:
+	// off costs one branch per window, on stays allocation-free in
+	// steady state, and armed telemetry never changes simulation results
+	// or traces (the determinism tests compare on vs. off byte for
+	// byte).
+	ShardTelemetry bool
+	// TraceShardWindows additionally flushes the flight recorder into
+	// the rig's trace stream when Run completes: one
+	// obs.KindShardWindow event per (window, busy shard) plus
+	// obs.KindShardMailbox aggregates — the input to analyze's shard
+	// report. Implies ShardTelemetry. Kept separate because the emitted
+	// events describe the shard layout, so (unlike everything else in
+	// the trace) they vary with the shard count; the telemetry-off
+	// byte-identity contract applies to ShardTelemetry alone.
+	TraceShardWindows bool
+	// FlightRecorder sets the flight-recorder depth in windows;
+	// non-positive means sim.DefaultFlightRecorder.
+	FlightRecorder int
 }
 
 // Rig is a fully wired SSD plus handles to its parts. The singular
@@ -143,11 +165,25 @@ type Rig struct {
 	// buffers into Tracer/Metrics), never Kernel.Run alone.
 	Cluster *sim.Cluster
 
+	// Telemetry is the cluster's shard instrument; non-nil iff
+	// BuildConfig.ShardTelemetry (or TraceShardWindows) was set on a
+	// sharded rig. Its Snapshot is safe to read from any goroutine while
+	// Run is in flight — the live feed behind the /shards endpoint.
+	Telemetry *sim.Telemetry
+
 	// sink and domBufs implement the sharded trace discipline: each
 	// domain traces into its own buffer (so no Tracer sees calls from
 	// two shards), and Run merges them into sink by (time, domain).
 	sink    obs.Tracer
 	domBufs []*obs.Buffer
+
+	// traceWindows, shardSeqEmitted, and mboxEmitted implement the
+	// TraceShardWindows flush: each Run emits only the windows recorded
+	// since the last flush and per-Run mailbox post deltas, so repeated
+	// Runs never double-count in a replayed stream.
+	traceWindows    bool
+	shardSeqEmitted uint64
+	mboxEmitted     map[[2]int]uint64
 }
 
 // Close releases controller resources: in-flight operation coroutines
@@ -328,6 +364,12 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			// cross-domain funnel.
 			backends[c] = wrapShard(backends[c], hostDom, chDom)
 		}
+	}
+	if cluster != nil && (cfg.ShardTelemetry || cfg.TraceShardWindows) {
+		// Arm after the domain graph is complete — the instrument sizes
+		// its mailbox matrix to the domain count at arming time.
+		rig.Telemetry = cluster.ArmTelemetry(cfg.FlightRecorder)
+		rig.traceWindows = cfg.TraceShardWindows
 	}
 	rig.Channel = rig.Channels[0]
 	if len(rig.Babols) > 0 {

@@ -1,0 +1,208 @@
+package ssd
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/hic"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// telemetryRun drives a fixed read workload on a sharded 4-channel rig
+// and returns the rig plus a fingerprint of its merged trace.
+func telemetryRun(t *testing.T, telemetry, traceWindows bool) (*Rig, string) {
+	t.Helper()
+	cfg := smallBuild(CtrlBabolRTOS)
+	cfg.Channels = 4
+	cfg.Ways = 1
+	cfg.Shards = 5
+	cfg.HostHop = sim.Microsecond
+	cfg.ShardTelemetry = telemetry
+	cfg.TraceShardWindows = traceWindows
+	var trace obs.Buffer
+	cfg.Tracer = &trace
+	rig := mustBuild(t, cfg)
+	logical := rig.FTL.LogicalPages()
+	if err := rig.SSD.Preload(logical); err != nil {
+		t.Fatal(err)
+	}
+	res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+		Pattern: hic.Random, Kind: hic.KindRead,
+		NumOps: 80, QueueDepth: 4, LogicalPages: logical, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Run()
+	if res.Failed != 0 {
+		t.Fatalf("%d reads failed", res.Failed)
+	}
+	var fp strings.Builder
+	for _, e := range trace.Events() {
+		fmt.Fprintf(&fp, "%+v\n", e)
+	}
+	return rig, fp.String()
+}
+
+// TestShardedTelemetryInvariance pins the rig-level Flashmon contract:
+// arming telemetry changes nothing observable — the merged trace is
+// byte-identical to the unarmed rig's.
+func TestShardedTelemetryInvariance(t *testing.T) {
+	_, ref := telemetryRun(t, false, false)
+	armed, got := telemetryRun(t, true, false)
+	if got != ref {
+		t.Fatal("trace with telemetry armed differs from unarmed trace")
+	}
+	if armed.Telemetry == nil {
+		t.Fatal("ShardTelemetry set but rig.Telemetry is nil")
+	}
+	snap := armed.Telemetry.Snapshot()
+	if snap.Windows != armed.Cluster.Windows() {
+		t.Fatalf("telemetry windows %d != cluster windows %d", snap.Windows, armed.Cluster.Windows())
+	}
+	var posts, events uint64
+	for _, mb := range snap.Mailboxes {
+		posts += mb.Posts
+	}
+	for _, s := range snap.Shards {
+		events += s.Events
+	}
+	if posts != armed.Cluster.Posts() {
+		t.Fatalf("mailbox posts %d != cluster posts %d", posts, armed.Cluster.Posts())
+	}
+	if events == 0 {
+		t.Fatal("telemetry recorded no events")
+	}
+	if len(snap.Shards) != 5 {
+		t.Fatalf("%d shard slots, want 5", len(snap.Shards))
+	}
+}
+
+// TestShardedTelemetryTraceFlush pins TraceShardWindows: the run's
+// operation trace is unchanged and the shard events ride behind it,
+// replayable into the metrics registry.
+func TestShardedTelemetryTraceFlush(t *testing.T) {
+	_, ref := telemetryRun(t, false, false)
+	cfg := smallBuild(CtrlBabolRTOS)
+	cfg.Channels = 4
+	cfg.Ways = 1
+	cfg.Shards = 5
+	cfg.HostHop = sim.Microsecond
+	cfg.TraceShardWindows = true
+	var trace obs.Buffer
+	cfg.Tracer = &trace
+	rig := mustBuild(t, cfg)
+	logical := rig.FTL.LogicalPages()
+	if err := rig.SSD.Preload(logical); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+		Pattern: hic.Random, Kind: hic.KindRead,
+		NumOps: 80, QueueDepth: 4, LogicalPages: logical, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rig.Run()
+
+	var ops, windows, mailboxes strings.Builder
+	windowEvents, mailboxEvents := 0, 0
+	sawShardEvent := false
+	for _, e := range trace.Events() {
+		switch e.Kind {
+		case obs.KindShardWindow:
+			sawShardEvent = true
+			windowEvents++
+			fmt.Fprintf(&windows, "%+v\n", e)
+		case obs.KindShardMailbox:
+			sawShardEvent = true
+			mailboxEvents++
+			fmt.Fprintf(&mailboxes, "%+v\n", e)
+		default:
+			if sawShardEvent {
+				t.Fatalf("operation event after shard events: %+v", e)
+			}
+			fmt.Fprintf(&ops, "%+v\n", e)
+		}
+	}
+	if ops.String() != ref {
+		t.Fatal("operation events differ from the plain run with TraceShardWindows set")
+	}
+	if windowEvents == 0 || mailboxEvents == 0 {
+		t.Fatalf("shard events missing: %d window, %d mailbox", windowEvents, mailboxEvents)
+	}
+
+	m := obs.NewMetrics()
+	m.Replay(trace.Events())
+	s := m.Snapshot()
+	if s.ShardWindows != rig.Cluster.Windows() {
+		t.Fatalf("replayed ShardWindows %d != cluster windows %d (recorder depth %d)",
+			s.ShardWindows, rig.Cluster.Windows(), sim.DefaultFlightRecorder)
+	}
+	var posts uint64
+	for _, mb := range s.Mailboxes {
+		posts += mb.Posts
+	}
+	if posts != rig.Cluster.Posts() {
+		t.Fatalf("replayed mailbox posts %d != cluster posts %d", posts, rig.Cluster.Posts())
+	}
+	// A second Run must not re-emit already-flushed windows.
+	trace.Reset()
+	rig.Run()
+	for _, e := range trace.Events() {
+		if e.Kind == obs.KindShardWindow || e.Kind == obs.KindShardMailbox {
+			t.Fatalf("idle re-Run re-emitted shard event %+v", e)
+		}
+	}
+}
+
+// TestShardedTelemetryAllocGate extends the funnel alloc gate's
+// contract to the armed instrument: a warmed sharded rig with telemetry
+// on allocates no more than the telemetry-off rig (plus fixed slack for
+// the one Snapshot the comparison itself takes).
+func TestShardedTelemetryAllocGate(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	measure := func(telemetry bool) uint64 {
+		cfg := smallBuild(CtrlBabolRTOS)
+		cfg.Channels = 2
+		cfg.Ways = 2
+		cfg.Shards = 3
+		cfg.HostHop = sim.Microsecond
+		cfg.ShardTelemetry = telemetry
+		rig := mustBuild(t, cfg)
+		if err := rig.SSD.Preload(rig.FTL.LogicalPages()); err != nil {
+			t.Fatal(err)
+		}
+		workload := func() {
+			res, err := hic.Run(rig.Kernel, rig.SSD, hic.Workload{
+				Pattern: hic.Sequential, Kind: hic.KindRead,
+				NumOps: 400, QueueDepth: 8, LogicalPages: rig.FTL.LogicalPages(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rig.Run()
+			if res.Failed != 0 {
+				t.Fatalf("%d reads failed", res.Failed)
+			}
+		}
+		workload() // warm to high-water
+		runtime.GC()
+		var m1, m2 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		workload()
+		runtime.ReadMemStats(&m2)
+		return m2.Mallocs - m1.Mallocs
+	}
+	off := measure(false)
+	on := measure(true)
+	const slack = 200
+	if on > off+slack {
+		t.Fatalf("armed telemetry allocated %d vs %d unarmed — the hot path is allocating", on, off)
+	}
+	t.Logf("allocs: telemetry-off=%d telemetry-on=%d", off, on)
+}

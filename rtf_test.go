@@ -13,7 +13,10 @@ import (
 
 // rtfMeasure runs the BenchmarkSimulationSpeed workload shape once and
 // returns virtual-seconds per wall-second. Kept in lockstep with
-// simulationSpeed in bench_test.go: same rig, same workload scaling.
+// simulationSpeed in bench_test.go: same rig, same workload scaling,
+// same armed shard telemetry on windowed runs — sharded measurements
+// also log windows/s and mean events-per-window so a floor failure
+// comes with the protocol-cost picture attached.
 // shards 0 is the legacy single-kernel path; shards >= 1 runs the
 // conservative time-window cluster.
 func rtfMeasure(t *testing.T, channels, ways, shards int) float64 {
@@ -21,6 +24,7 @@ func rtfMeasure(t *testing.T, channels, ways, shards int) float64 {
 	rig, err := ssd.Build(ssd.BuildConfig{
 		Params: benchParams(), Channels: channels, Ways: ways, RateMT: 200,
 		Controller: ssd.CtrlBabolRTOS, CPUMHz: 1000, Shards: shards,
+		ShardTelemetry: shards >= 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -39,13 +43,24 @@ func rtfMeasure(t *testing.T, channels, ways, shards int) float64 {
 	}
 	rig.Run()
 	wall := time.Since(start).Seconds()
+	if rig.Telemetry != nil {
+		snap := rig.Telemetry.Snapshot()
+		var events uint64
+		for _, s := range snap.Shards {
+			events += s.Events
+		}
+		if snap.Windows > 0 {
+			t.Logf("shards=%d: %.0f windows/s, %.1f ev/window (%d windows)",
+				shards, float64(snap.Windows)/wall, float64(events)/float64(snap.Windows), snap.Windows)
+		}
+	}
 	return sim.Duration(rig.Now()).Seconds() / wall
 }
 
 // TestRealTimeFactorFloor is the CI gate for simulation speed: the
 // measured real-time factor must stay above the floors recorded in
-// BENCH_7.json. The floors are deliberately far below the numbers a
-// development machine measures (see BENCH_7.json's headline) — shared
+// BENCH_8.json. The floors are deliberately far below the numbers a
+// development machine measures (see BENCH_8.json's headline) — shared
 // CI runners are slow and noisy — so a failure here means a multi-x
 // regression in the event engine or the operation hot path, not
 // scheduling jitter. The windowed floor additionally guards the
@@ -58,7 +73,7 @@ func TestRealTimeFactorFloor(t *testing.T) {
 	if os.Getenv("RTF_FLOOR_CHECK") == "" {
 		t.Skip("wall-clock floor check; enable with RTF_FLOOR_CHECK=1")
 	}
-	raw, err := os.ReadFile("BENCH_7.json")
+	raw, err := os.ReadFile("BENCH_8.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +89,7 @@ func TestRealTimeFactorFloor(t *testing.T) {
 	}
 	if bench.CI.RTFFloor1ch8way <= 0 || bench.CI.RTFFloorFullDrive8ch8way <= 0 ||
 		bench.CI.RTFFloorFullDriveWindow <= 0 {
-		t.Fatal("BENCH_7.json ci floors missing or zero; the gate is vacuous")
+		t.Fatal("BENCH_8.json ci floors missing or zero; the gate is vacuous")
 	}
 	for _, c := range []struct {
 		name           string
@@ -96,7 +111,7 @@ func TestRealTimeFactorFloor(t *testing.T) {
 			}
 		}
 		if best < c.floor {
-			t.Errorf("%s: real-time factor %.2f virtual-s/wall-s below floor %.2f (BENCH_7.json)",
+			t.Errorf("%s: real-time factor %.2f virtual-s/wall-s below floor %.2f (BENCH_8.json)",
 				c.name, best, c.floor)
 		} else {
 			t.Logf("%s: %.2f virtual-s/wall-s (floor %.2f)", c.name, best, c.floor)
