@@ -70,6 +70,18 @@ func TestFlagParsing(t *testing.T) {
 		}
 	})
 
+	t.Run("mapcache", func(t *testing.T) {
+		// Default keeps the whole map resident (legacy, byte-identical
+		// figures); an explicit budget threads through to every rig.
+		if opt := parse(t, "fig10").options(); opt.MapCacheBytes != 0 {
+			t.Errorf("default MapCacheBytes = %d, want 0 (cache disabled)", opt.MapCacheBytes)
+		}
+		opt := parse(t, "-mapcache", "65536", "fig10").options()
+		if opt.MapCacheBytes != 65536 {
+			t.Errorf("MapCacheBytes = %d, want 65536", opt.MapCacheBytes)
+		}
+	})
+
 	t.Run("parallel-explicit", func(t *testing.T) {
 		c := parse(t, "-parallel", "3", "-ops", "12", "all")
 		opt := c.options()

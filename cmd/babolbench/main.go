@@ -24,6 +24,17 @@
 // exactly (chaos is excluded from `all` so the paper outputs stay
 // fault-free).
 //
+// and a map-cache ablation:
+//
+//	babolbench mapcache
+//
+// which sweeps the FTL's translation-DRAM budget over random reads on a
+// shrunk-geometry rig, reporting bandwidth and hit/miss/eviction
+// counters per budget — the cost curve of demand-paged translations
+// (also excluded from `all`). The -mapcache flag instead applies one
+// budget to every figure rig, shifting the paper figures by the
+// modeled map-read traffic.
+//
 // plus the software logic analyzer over recorded traces:
 //
 //	babolbench analyze trace.jsonl
@@ -50,7 +61,9 @@
 // deterministic trace path), /shards is the shard-occupancy view of the
 // same registry (per-shard busy windows and utilization, mailbox
 // traffic — populated when -shardtrace streams shard-window records
-// from sharded rigs), and the Go pprof handlers are mounted under
+// from sharded rigs), /ftl is the FTL map-cache view (translation
+// hit/miss/eviction/flush totals and hit rate — populated when
+// -mapcache enables the cache), and the Go pprof handlers are mounted under
 // /debug/pprof/ for profiling the simulator itself. Sharded cluster
 // workers run under pprof labels (shard=N, domain=...), so /debug/pprof
 // profiles break down by shard.
@@ -108,6 +121,7 @@ func serveIntrospection(addr string) (obs.Tracer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(live.Snapshot))
 	mux.Handle("/shards", obs.ShardsHandler(live.Snapshot))
+	mux.Handle("/ftl", obs.FTLHandler(live.Snapshot))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -144,6 +158,7 @@ type cli struct {
 	hosthopUS float64
 	seeds     int
 	httpAddr  string
+	mapCache  int64
 }
 
 func newCLI(errOut io.Writer) *cli {
@@ -159,9 +174,11 @@ func newCLI(errOut io.Writer) *cli {
 	c.fs.Float64Var(&c.hosthopUS, "hosthop", 0, "modeled host<->channel hop latency in microseconds for sharded rigs (0 = the 1us default)")
 	c.fs.IntVar(&c.seeds, "seeds", 8, "number of seeded fault plans for the chaos soak")
 	c.fs.StringVar(&c.httpAddr, "http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
+	c.fs.Int64Var(&c.mapCache, "mapcache", 0, "FTL translation-map DRAM budget in bytes (map pages demand-paged, misses charged as NAND reads; 0 = whole map resident)")
 	c.fs.Usage = func() {
-		fmt.Fprintf(errOut, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-shards N] [-shardtrace] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
-		fmt.Fprintf(errOut, "       babolbench [-ops N] [-seeds N] [-parallel N] [-shards N] [-trace out.jsonl] chaos\n")
+		fmt.Fprintf(errOut, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-shards N] [-shardtrace] [-mapcache BYTES] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
+		fmt.Fprintf(errOut, "       babolbench [-ops N] [-parallel N] [-shards N] [-trace out.jsonl] mapcache\n")
+		fmt.Fprintf(errOut, "       babolbench [-ops N] [-seeds N] [-parallel N] [-shards N] [-mapcache BYTES] [-trace out.jsonl] chaos\n")
 		fmt.Fprintf(errOut, "       babolbench [-csv] analyze trace.jsonl\n")
 		c.fs.PrintDefaults()
 	}
@@ -187,6 +204,7 @@ func (c *cli) options() exp.Options {
 		opt.ShardTelemetry = true
 		opt.TraceShardWindows = true
 	}
+	opt.MapCacheBytes = c.mapCache
 	return opt
 }
 
@@ -293,6 +311,16 @@ func main() {
 				fmt.Print(exp.ChaosCSV(pts))
 			} else {
 				fmt.Println(exp.RenderChaos(pts))
+			}
+		case "mapcache":
+			pts, err := exp.MapCache(opt, nil)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Print(exp.MapCacheCSV(pts))
+			} else {
+				fmt.Println(exp.RenderMapCache(pts))
 			}
 		case "split":
 			rows, err := exp.TimeSplit(opt)

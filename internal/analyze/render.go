@@ -186,6 +186,21 @@ func (r *Result) CSV() string {
 			fmt.Fprintf(&b, "recovery,%s,%d\n", l, r.Metrics.RecoveriesByLabel[l])
 		}
 	}
+	if r.Metrics.MapCacheActive() {
+		b.WriteString("\nrun,map_hits,map_misses,map_hit_rate,map_evictions,map_flushes\n")
+		fmt.Fprintf(&b, "all,%d,%d,%.4f,%d,%d\n",
+			r.Metrics.MapHits, r.Metrics.MapMisses, r.Metrics.MapHitRate(),
+			r.Metrics.MapEvictions, r.Metrics.MapFlushes)
+		for i := range r.Runs {
+			m := &r.Runs[i].Metrics
+			if !m.MapCacheActive() {
+				continue
+			}
+			fmt.Fprintf(&b, "%d,%d,%d,%.4f,%d,%d\n",
+				r.Runs[i].Index, m.MapHits, m.MapMisses, m.MapHitRate(),
+				m.MapEvictions, m.MapFlushes)
+		}
+	}
 	if shard := ShardCSV(r.Runs); shard != "" {
 		b.WriteString("\n")
 		b.WriteString(shard)
@@ -388,6 +403,26 @@ func (r *Result) Render() string {
 				fmt.Fprintf(&b, "  run %-3d ch%d chip%d: faults=%d recoveries=%d\n",
 					run.Index, k.Channel, k.Chip, c.Faults, c.Recoveries)
 			}
+		}
+	}
+
+	// Traces from map-cache-enabled runs carry translation-paging
+	// events; cache-disabled traces render exactly as before (section
+	// absent, goldens stable).
+	if r.Metrics.MapCacheActive() {
+		b.WriteString("\nftl map cache (all runs):\n")
+		fmt.Fprintf(&b, "  translations: hits=%d misses=%d hit-rate=%.1f%%\n",
+			r.Metrics.MapHits, r.Metrics.MapMisses, 100*r.Metrics.MapHitRate())
+		fmt.Fprintf(&b, "  paging:       evictions=%d flushes=%d\n",
+			r.Metrics.MapEvictions, r.Metrics.MapFlushes)
+		for i := range r.Runs {
+			m := &r.Runs[i].Metrics
+			if !m.MapCacheActive() {
+				continue
+			}
+			fmt.Fprintf(&b, "  run %-3d hits=%-8d misses=%-8d hit-rate=%-5.1f%% evictions=%-6d flushes=%d\n",
+				r.Runs[i].Index, m.MapHits, m.MapMisses, 100*m.MapHitRate(),
+				m.MapEvictions, m.MapFlushes)
 		}
 	}
 

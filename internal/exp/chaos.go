@@ -88,6 +88,7 @@ func chaosRun(opt Options, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
 		NoCoroPool: opt.NoCoroPool,
 		Shards:     opt.Shards, HostHop: opt.HostHop,
 		ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
+		MapCacheBytes: opt.MapCacheBytes,
 	})
 	if err != nil {
 		return ChaosPoint{}, err

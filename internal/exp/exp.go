@@ -71,6 +71,13 @@ type Options struct {
 	// events depend on the shard layout, so traces are comparable only
 	// across runs with equal Shards.
 	TraceShardWindows bool
+	// MapCacheBytes bounds the DRAM budget of every rig's FTL
+	// translation map (ssd.BuildConfig.MapCacheBytes): map pages are
+	// demand-paged under the budget and misses charge NAND reads
+	// through the ops path, so figures shift accordingly. 0 keeps the
+	// whole map resident — the legacy model, byte-identical results.
+	// Runs are seed-reproducible at any budget.
+	MapCacheBytes int64
 }
 
 func (o Options) withDefaults() Options {

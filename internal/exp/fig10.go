@@ -69,6 +69,7 @@ func Fig10(opt Options) ([]Fig10Point, error) {
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
 			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
+			MapCacheBytes: opt.MapCacheBytes,
 		}, hic.Sequential, opt.Ops, 2*c.luns)
 		if err != nil {
 			return fmt.Errorf("fig10 %s %dMT %v %dMHz %dLUN: %w",

@@ -49,6 +49,7 @@ func Fig11(opt Options) ([]Fig11Result, error) {
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
 			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
+			MapCacheBytes: opt.MapCacheBytes,
 		})
 		if err != nil {
 			return err

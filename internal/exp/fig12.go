@@ -53,6 +53,7 @@ func Fig12(opt Options) ([]Fig12Point, error) {
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
 			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
+			MapCacheBytes: opt.MapCacheBytes,
 		}, c.pattern, opt.Ops, 4*c.ways)
 		if err != nil {
 			return fmt.Errorf("fig12 %v %v %dway: %w", c.pattern, c.ctrl, c.ways, err)

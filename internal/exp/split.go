@@ -93,6 +93,7 @@ func TimeSplit(opt Options) ([]SplitRow, error) {
 			NoCoroPool: opt.NoCoroPool,
 			Shards:     opt.Shards, HostHop: opt.HostHop,
 			ShardTelemetry: opt.ShardTelemetry, TraceShardWindows: opt.TraceShardWindows,
+			MapCacheBytes: opt.MapCacheBytes,
 		})
 		if err != nil {
 			return err

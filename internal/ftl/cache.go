@@ -1,0 +1,259 @@
+package ftl
+
+import (
+	"sync/atomic"
+
+	"repro/internal/onfi"
+)
+
+// The translation-page cache models FMMU-style demand paging of the
+// L2P map: the map is stored on flash as fixed-size translation pages
+// (groups of groupEntries entries, one NAND page each), and only a
+// DRAM budget's worth of them is resident at a time. A translation
+// that misses must first read the map page from NAND — the SSD layer
+// (internal/ssd) charges that read through the ordinary ops path, so
+// the cost lands in latency figures, not just counters.
+//
+// The budget is split evenly across map shards, floored at one slot
+// per shard so every shard can always make progress; eviction is the
+// clock (second-chance) algorithm over the shard's slots. Reference
+// bits are atomics because the hit path sets them under the shard's
+// *read* lock — concurrent hits on the same slot are benign races on
+// a one-way flag, not data corruption, but the race detector rightly
+// wants the store annotated.
+//
+// Correctness never depends on residency: the backing map (shard.go)
+// is always authoritative, and the cache only decides whether a
+// translation costs a NAND read first. With MapCacheBytes == 0 the
+// cache is disabled and every path short-circuits to the legacy
+// always-resident behavior — no counters move, no events fire, and
+// results are byte-identical to pre-cache builds.
+
+// cacheSlot is one resident translation page.
+type cacheSlot struct {
+	mpn   int         // global map-page number
+	ref   atomic.Bool // clock reference bit; set on every hit
+	dirty bool        // mapping in this group changed since install
+}
+
+// initCache sizes the per-shard slot arrays from the byte budget.
+// Caller runs during NewWithConfig, before any concurrency.
+func (f *FTL) initCache(budget int64) {
+	f.budgetBytes = budget
+	if budget <= 0 {
+		return
+	}
+	f.cacheEnabled = true
+	slots := int(budget / int64(f.groupBytes))
+	per := slots / len(f.shards)
+	if per < 1 {
+		per = 1
+	}
+	f.slotsPerShard = per
+	for i := range f.shards {
+		sh := &f.shards[i]
+		n := per
+		if g := f.groupCount(sh); n > g {
+			n = g
+		}
+		sh.slots = make([]cacheSlot, n)
+		sh.resident = make(map[int]int, n)
+	}
+}
+
+// CacheEnabled reports whether translations are demand-paged under a
+// DRAM budget.
+func (f *FTL) CacheEnabled() bool { return f.cacheEnabled }
+
+// GroupEntries reports the number of L2P entries per translation page.
+func (f *FTL) GroupEntries() int { return f.groupEntries }
+
+// MapPages reports the total number of translation pages covering the
+// logical space.
+func (f *FTL) MapPages() int {
+	return (f.logical + f.groupEntries - 1) / f.groupEntries
+}
+
+// mapPage returns the global map-page number owning an LPN.
+func (f *FTL) mapPage(lpn int) int { return lpn / f.groupEntries }
+
+// mpnShard returns the shard owning a map page.
+func (f *FTL) mpnShard(mpn int) *mapShard {
+	return f.shard(mpn * f.groupEntries)
+}
+
+// CacheAcquire checks whether lpn's translation page is resident.
+// On a hit it marks the slot referenced and returns hit=true; the
+// caller may translate immediately. On a miss the caller must model a
+// NAND read of map page mpn and then call CacheInstall(mpn) before
+// retrying the translation. With the cache disabled it always reports
+// a hit (and counts nothing). Allocation-free on the hit path.
+func (f *FTL) CacheAcquire(lpn int) (mpn int, hit bool) {
+	if !f.cacheEnabled {
+		return 0, true
+	}
+	if lpn < 0 || lpn >= f.logical {
+		return 0, true
+	}
+	mpn = f.mapPage(lpn)
+	sh := f.shard(lpn)
+	sh.mu.RLock()
+	idx, ok := sh.resident[mpn]
+	if ok {
+		sh.slots[idx].ref.Store(true)
+	}
+	sh.mu.RUnlock()
+	if ok {
+		f.n.mapHits.Add(1)
+		return mpn, true
+	}
+	f.n.mapMisses.Add(1)
+	return mpn, false
+}
+
+// CacheInstall makes map page mpn resident after its NAND read
+// completed, evicting by clock if the shard's slots are full. Reports
+// whether a victim was evicted and whether that victim was dirty (a
+// dirty victim models a map-page write-back; the SSD layer counts it
+// as a flush). Installing an already-resident page is a no-op —
+// concurrent misses on the same page coalesce upstream, but a stale
+// second install must not evict anything.
+func (f *FTL) CacheInstall(mpn int) (evicted, flushedDirty bool) {
+	if !f.cacheEnabled {
+		return false, false
+	}
+	sh := f.mpnShard(mpn)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.resident[mpn]; ok {
+		return false, false
+	}
+	var idx int
+	if sh.used < len(sh.slots) {
+		idx = sh.used
+		sh.used++
+	} else {
+		// Clock sweep: clear reference bits until one stays clear.
+		// Terminates within two laps because cleared bits stay
+		// cleared under the exclusive lock.
+		for {
+			s := &sh.slots[sh.hand]
+			if s.ref.Load() {
+				s.ref.Store(false)
+				sh.hand = (sh.hand + 1) % len(sh.slots)
+				continue
+			}
+			idx = sh.hand
+			sh.hand = (sh.hand + 1) % len(sh.slots)
+			break
+		}
+		victim := &sh.slots[idx]
+		delete(sh.resident, victim.mpn)
+		evicted = true
+		flushedDirty = victim.dirty
+		f.n.mapEvictions.Add(1)
+		if flushedDirty {
+			f.n.mapFlushes.Add(1)
+		}
+	}
+	s := &sh.slots[idx]
+	s.mpn = mpn
+	s.ref.Store(true)
+	s.dirty = false
+	sh.resident[mpn] = idx
+	return evicted, flushedDirty
+}
+
+// markDirtyLocked records that a mapping inside lpn's translation page
+// changed. If the page is resident its slot goes dirty (the eventual
+// eviction becomes a write-back). If it is not resident the change is
+// counted as a bypass: paths that mutate the map without translating
+// through the cache first (preload seeding, GC relocation — background
+// machinery with its own metadata journaling in real firmware) modify
+// the authoritative backing map directly. Caller holds sh.mu
+// exclusively.
+func (f *FTL) markDirtyLocked(sh *mapShard, lpn int) {
+	if !f.cacheEnabled {
+		return
+	}
+	if idx, ok := sh.resident[f.mapPage(lpn)]; ok {
+		sh.slots[idx].dirty = true
+	} else {
+		f.n.mapBypasses.Add(1)
+	}
+}
+
+// MapPageLocation models where a translation page lives on flash so a
+// miss can be charged as a real NAND read. Map pages are striped
+// chip-first across the channel, then across blocks and pages — a
+// deterministic address transform, not a second allocator: the timing
+// model needs a plausible target LUN/row for channel and die
+// contention, while the authoritative map itself stays in the backing
+// tables (correctness never depends on what this address holds).
+func (f *FTL) MapPageLocation(mpn int) Location {
+	chip := mpn % f.chips
+	rest := mpn / f.chips
+	block := rest % f.geo.BlocksPerLUN
+	page := (rest / f.geo.BlocksPerLUN) % f.geo.PagesPerBlk
+	return Location{Chip: chip, Row: onfi.RowAddr{Block: block, Page: page}}
+}
+
+// CacheStats is a point-in-time snapshot of the translation-cache
+// counters, safe from any goroutine.
+type CacheStats struct {
+	Hits      uint64 // translations served from resident map pages
+	Misses    uint64 // translations that charged a NAND map-page read
+	Evictions uint64 // resident pages displaced by the clock
+	Flushes   uint64 // evicted pages that were dirty (modeled write-back)
+	Bypasses  uint64 // map mutations on non-resident pages (preload, GC)
+}
+
+// HitRate reports hits / (hits + misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats snapshots the translation-cache counters.
+func (f *FTL) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:      f.n.mapHits.Load(),
+		Misses:    f.n.mapMisses.Load(),
+		Evictions: f.n.mapEvictions.Load(),
+		Flushes:   f.n.mapFlushes.Load(),
+		Bypasses:  f.n.mapBypasses.Load(),
+	}
+}
+
+// CacheInfo describes the cache configuration and current residency.
+type CacheInfo struct {
+	Enabled       bool
+	BudgetBytes   int64
+	GroupEntries  int // L2P entries per translation page
+	GroupBytes    int // modeled DRAM bytes per translation page
+	SlotsPerShard int
+	MapPages      int // translation pages covering the logical space
+	Resident      int // currently resident translation pages
+}
+
+// CacheInfo reports the cache configuration and a residency gauge.
+func (f *FTL) CacheInfo() CacheInfo {
+	info := CacheInfo{
+		Enabled:       f.cacheEnabled,
+		BudgetBytes:   f.budgetBytes,
+		GroupEntries:  f.groupEntries,
+		GroupBytes:    f.groupBytes,
+		SlotsPerShard: f.slotsPerShard,
+		MapPages:      f.MapPages(),
+	}
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		info.Resident += sh.used
+		sh.mu.RUnlock()
+	}
+	return info
+}

@@ -8,10 +8,31 @@
 // resulting flash operations through a controller. That separation
 // mirrors Figure 1, where the FTL requests page- and block-level
 // operations that the Storage Controller implements.
+//
+// The package is split by concern:
+//
+//   - ftl.go: configuration, chip/block allocation state, write
+//     allocator, wear accounting, recovery hooks (RetireBlock,
+//     OfflineChip).
+//   - shard.go: the L2P map, sharded by LPN range into independently
+//     locked segments with lazily allocated storage.
+//   - cache.go: the DRAM-budgeted translation-page cache (FMMU-style
+//     demand paging of map groups with clock eviction).
+//   - gc.go: garbage-collection policy (victim selection, relocation).
+//
+// Locking discipline (see shard.go for the map side): every chip's
+// allocation state is guarded by its own mutex, and every map shard by
+// its own RWMutex. Lock order is always shard → chip, and neither chip
+// nor shard locks ever nest with their own kind, so the FTL is safe for
+// the concurrent readers the monitoring path brings (Lookup, Stats,
+// LivePages from another goroutine mid-run) as well as for parallel
+// lookup storms in benchmarks.
 package ftl
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/onfi"
 )
@@ -25,11 +46,13 @@ type Location struct {
 // invalidLPN marks a physical page holding no live logical page.
 const invalidLPN = -1
 
-// blockState tracks one physical block.
+// blockState tracks one physical block. The reverse map is allocated on
+// first write (see allocateOn): a never-written block costs no O(pages)
+// memory, which is what keeps TB-class geometries buildable.
 type blockState struct {
 	nextPage int   // write frontier within the block
 	valid    int   // live pages
-	lpns     []int // reverse map: page → LPN (or invalidLPN)
+	lpns     []int // reverse map: page → LPN (or invalidLPN); nil until first write
 	sealed   bool  // fully written
 	bad      bool  // retired: never allocated or collected again
 }
@@ -37,8 +60,10 @@ type blockState struct {
 // chipState tracks allocation on one chip. Host and GC writes use
 // separate active blocks ("streams"): GC must always be able to relocate
 // a victim's live pages, so the host may never consume the space GC
-// opened for itself.
+// opened for itself. mu guards every field; chip locks are leaves (they
+// never nest with each other or with map-shard locks taken after them).
 type chipState struct {
+	mu        sync.Mutex
 	blocks    []blockState
 	freeList  []int // erased blocks available for allocation
 	active    int   // block accepting host writes (-1 none)
@@ -51,18 +76,73 @@ type chipState struct {
 	offline bool
 }
 
+// Config assembles an FTL. The zero value of the optional fields picks
+// the defaults New uses.
+type Config struct {
+	Geometry onfi.Geometry
+	Chips    int
+	// ReservedBlocks per chip are withheld from the logical capacity as
+	// GC headroom (over-provisioning); at least one is required.
+	ReservedBlocks int
+	// MapShards splits the L2P map into independently locked LPN-range
+	// shards. Shard boundaries are rounded to whole translation-page
+	// groups so a map page never straddles shards. 0 defaults to one
+	// shard per chip; rigs built by internal/ssd size it to the kernel
+	// shard layout instead. The shard count changes locking and memory
+	// granularity only — never any allocation decision — so results are
+	// identical at every count.
+	MapShards int
+	// MapCacheBytes bounds the DRAM the translation map may occupy:
+	// map pages (groups of L2P entries, one NAND page each) are
+	// demand-paged under this budget with clock eviction. 0 disables the
+	// cache — the whole map is modeled as resident, the legacy behavior.
+	// The effective budget is floored at one map page per shard so every
+	// shard can make progress. See cache.go.
+	MapCacheBytes int64
+}
+
 // FTL maps logical pages onto a channel of identical chips.
 type FTL struct {
 	geo      onfi.Geometry
 	chips    int
 	reserved int // blocks per chip kept free for GC (over-provisioning)
+	logical  int
 
-	l2p      []Location // LPN → location
-	mapped   []bool
-	chipRR   int // round-robin write-striping cursor
+	// L2P map shards; see shard.go. shardSize is a multiple of
+	// groupEntries so every translation page belongs to one shard.
+	shards    []mapShard
+	shardSize int
+
+	// Translation-page cache configuration; see cache.go. groupEntries
+	// is computed even when the cache is disabled (shard sizing rounds
+	// to it).
+	cacheEnabled  bool
+	groupEntries  int // L2P entries per translation page
+	groupBytes    int
+	budgetBytes   int64
+	slotsPerShard int
+
+	chipRR   atomic.Int64 // round-robin write-striping cursor
 	chipsArr []chipState
 
-	stats Stats
+	n counters
+}
+
+// counters is the FTL's internal counter block. All fields are atomics
+// so Stats and CacheStats snapshots are safe from any goroutine while
+// the simulation mutates the FTL — the `-http` monitoring path.
+type counters struct {
+	hostWrites  atomic.Uint64
+	flashWrites atomic.Uint64
+	gcMoves     atomic.Uint64
+	gcErases    atomic.Uint64
+	badBlocks   atomic.Uint64
+
+	mapHits      atomic.Uint64
+	mapMisses    atomic.Uint64
+	mapEvictions atomic.Uint64
+	mapFlushes   atomic.Uint64
+	mapBypasses  atomic.Uint64
 }
 
 // Stats counts FTL activity.
@@ -82,32 +162,49 @@ func (s Stats) WriteAmplification() float64 {
 	return float64(s.FlashWrites) / float64(s.HostWrites)
 }
 
-// New builds an FTL over `chips` identical chips with the given geometry.
-// reservedBlocks per chip are withheld from the logical capacity as GC
-// headroom (over-provisioning); at least one is required.
+// New builds an FTL over `chips` identical chips with the given
+// geometry and default map sharding (no map cache) — the signature
+// every pre-existing caller and test uses.
 func New(geo onfi.Geometry, chips, reservedBlocks int) (*FTL, error) {
+	return NewWithConfig(Config{Geometry: geo, Chips: chips, ReservedBlocks: reservedBlocks})
+}
+
+// NewWithConfig builds an FTL per cfg.
+func NewWithConfig(cfg Config) (*FTL, error) {
+	geo := cfg.Geometry
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	if chips <= 0 {
-		return nil, fmt.Errorf("ftl: need at least one chip, got %d", chips)
+	if cfg.Chips <= 0 {
+		return nil, fmt.Errorf("ftl: need at least one chip, got %d", cfg.Chips)
 	}
-	if reservedBlocks < 1 || reservedBlocks >= geo.BlocksPerLUN {
-		return nil, fmt.Errorf("ftl: reserved blocks %d out of range [1,%d)", reservedBlocks, geo.BlocksPerLUN)
+	if cfg.ReservedBlocks < 1 || cfg.ReservedBlocks >= geo.BlocksPerLUN {
+		return nil, fmt.Errorf("ftl: reserved blocks %d out of range [1,%d)", cfg.ReservedBlocks, geo.BlocksPerLUN)
 	}
-	f := &FTL{geo: geo, chips: chips, reserved: reservedBlocks}
-	logical := f.LogicalPages()
-	f.l2p = make([]Location, logical)
-	f.mapped = make([]bool, logical)
-	f.chipsArr = make([]chipState, chips)
+	if cfg.MapShards < 0 {
+		return nil, fmt.Errorf("ftl: negative map shard count %d", cfg.MapShards)
+	}
+	if cfg.MapCacheBytes < 0 {
+		return nil, fmt.Errorf("ftl: negative map cache budget %d", cfg.MapCacheBytes)
+	}
+	f := &FTL{geo: geo, chips: cfg.Chips, reserved: cfg.ReservedBlocks}
+	f.logical = f.chips * (geo.BlocksPerLUN - f.reserved) * geo.PagesPerBlk
+	f.groupEntries = geo.PageBytes / mapEntryBytes
+	if f.groupEntries < 1 {
+		f.groupEntries = 1
+	}
+	f.groupBytes = f.groupEntries * mapEntryBytes
+	f.initShards(cfg.MapShards)
+	f.initCache(cfg.MapCacheBytes)
+	f.chipsArr = make([]chipState, cfg.Chips)
 	for c := range f.chipsArr {
 		cs := &f.chipsArr[c]
 		cs.blocks = make([]blockState, geo.BlocksPerLUN)
 		cs.wear = make([]int, geo.BlocksPerLUN)
 		cs.active = -1
 		cs.activeGC = -1
+		cs.freeList = make([]int, 0, geo.BlocksPerLUN)
 		for b := range cs.blocks {
-			cs.blocks[b].lpns = newLPNSlice(geo.PagesPerBlk)
 			cs.freeList = append(cs.freeList, b)
 		}
 	}
@@ -123,9 +220,7 @@ func newLPNSlice(n int) []int {
 }
 
 // LogicalPages reports the exported logical capacity in pages.
-func (f *FTL) LogicalPages() int {
-	return f.chips * (f.geo.BlocksPerLUN - f.reserved) * f.geo.PagesPerBlk
-}
+func (f *FTL) LogicalPages() int { return f.logical }
 
 // Geometry returns the per-chip geometry.
 func (f *FTL) Geometry() onfi.Geometry { return f.geo }
@@ -133,16 +228,16 @@ func (f *FTL) Geometry() onfi.Geometry { return f.geo }
 // Chips reports the channel width the FTL manages.
 func (f *FTL) Chips() int { return f.chips }
 
-// Stats returns a snapshot of the counters.
-func (f *FTL) Stats() Stats { return f.stats }
-
-// Lookup translates a logical page number. ok is false for never-written
-// pages.
-func (f *FTL) Lookup(lpn int) (Location, bool) {
-	if lpn < 0 || lpn >= len(f.l2p) {
-		return Location{}, false
+// Stats returns a snapshot of the counters. Safe to call from any
+// goroutine while the simulation runs (the counters are atomics).
+func (f *FTL) Stats() Stats {
+	return Stats{
+		HostWrites:  f.n.hostWrites.Load(),
+		FlashWrites: f.n.flashWrites.Load(),
+		GCMoves:     f.n.gcMoves.Load(),
+		GCErases:    f.n.gcErases.Load(),
+		BadBlocks:   f.n.badBlocks.Load(),
 	}
-	return f.l2p[lpn], f.mapped[lpn]
 }
 
 // AllocateWrite assigns the next physical page for a host write of lpn,
@@ -154,8 +249,8 @@ func (f *FTL) AllocateWrite(lpn int) (Location, error) {
 	if err != nil {
 		return loc, err
 	}
-	f.stats.HostWrites++
-	f.stats.FlashWrites++
+	f.n.hostWrites.Add(1)
+	f.n.flashWrites.Add(1)
 	return loc, nil
 }
 
@@ -164,15 +259,23 @@ func (f *FTL) AllocateWrite(lpn int) (Location, error) {
 // collection needs somewhere to relocate live pages, and granting the
 // host the last block would deadlock a full drive.
 func (f *FTL) allocate(lpn int, gc bool) (Location, error) {
-	if lpn < 0 || lpn >= len(f.l2p) {
-		return Location{}, fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, len(f.l2p))
+	if lpn < 0 || lpn >= f.logical {
+		return Location{}, fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, f.logical)
 	}
+	sh := f.shard(lpn)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// Find a chip with space first: a failed write must leave any
 	// existing mapping (and its data) intact.
+	rr := int(f.chipRR.Load())
 	chip := -1
 	for try := 0; try < f.chips; try++ {
-		c := (f.chipRR + try) % f.chips
-		if f.hasSpace(&f.chipsArr[c], gc) {
+		c := (rr + try) % f.chips
+		cs := &f.chipsArr[c]
+		cs.mu.Lock()
+		ok := f.hasSpace(cs, gc)
+		cs.mu.Unlock()
+		if ok {
 			chip = c
 			break
 		}
@@ -181,21 +284,19 @@ func (f *FTL) allocate(lpn int, gc bool) (Location, error) {
 		return Location{}, fmt.Errorf("ftl: out of space (GC required on all chips)")
 	}
 	// Drop the stale copy, then place the new one (striping round-robin).
-	if f.mapped[lpn] {
-		f.invalidate(f.l2p[lpn])
-		f.mapped[lpn] = false
-	}
-	loc, ok := f.allocateOn(chip, &f.chipsArr[chip], lpn, gc)
+	f.clearMappingLocked(sh, lpn)
+	loc, ok := f.allocateOn(chip, lpn, gc)
 	if !ok {
 		return Location{}, fmt.Errorf("ftl: chip %d lost its space mid-allocation", chip)
 	}
-	f.chipRR = (chip + 1) % f.chips
+	f.chipRR.Store(int64((chip + 1) % f.chips))
+	f.setMappingLocked(sh, lpn, loc)
 	return loc, nil
 }
 
 // hasSpace reports whether a chip can accept one more page write in the
 // given stream under the GC-headroom rule: the host may never open the
-// last free block.
+// last free block. Caller holds cs.mu.
 func (f *FTL) hasSpace(cs *chipState, gc bool) bool {
 	if cs.offline {
 		return false
@@ -206,7 +307,13 @@ func (f *FTL) hasSpace(cs *chipState, gc bool) bool {
 	return cs.active >= 0 || len(cs.freeList) > 1
 }
 
-func (f *FTL) allocateOn(chip int, cs *chipState, lpn int, gc bool) (Location, bool) {
+// allocateOn takes the chip's next page in the given stream and records
+// the chip-side reverse mapping. The map-side entry is the caller's to
+// set (under the LPN's shard lock, which the caller holds).
+func (f *FTL) allocateOn(chip, lpn int, gc bool) (Location, bool) {
+	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	stream := &cs.active
 	if gc {
 		stream = &cs.activeGC
@@ -228,6 +335,9 @@ func (f *FTL) allocateOn(chip int, cs *chipState, lpn int, gc bool) (Location, b
 		cs.freeList = append(cs.freeList[:pick], cs.freeList[pick+1:]...)
 	}
 	blk := &cs.blocks[*stream]
+	if blk.lpns == nil {
+		blk.lpns = newLPNSlice(f.geo.PagesPerBlk)
+	}
 	row := onfi.RowAddr{Block: *stream, Page: blk.nextPage}
 	blk.lpns[blk.nextPage] = lpn
 	blk.valid++
@@ -237,26 +347,16 @@ func (f *FTL) allocateOn(chip int, cs *chipState, lpn int, gc bool) (Location, b
 		blk.sealed = true
 		*stream = -1
 	}
-	loc := Location{Chip: chip, Row: row}
-	f.l2p[lpn] = loc
-	f.mapped[lpn] = true
-	return loc, true
+	return Location{Chip: chip, Row: row}, true
 }
 
-// Invalidate drops a logical page's mapping (host TRIM, or a failed
-// program whose mapping must not survive).
-func (f *FTL) Invalidate(lpn int) {
-	if lpn < 0 || lpn >= len(f.l2p) || !f.mapped[lpn] {
-		return
-	}
-	f.invalidate(f.l2p[lpn])
-	f.mapped[lpn] = false
-}
-
-func (f *FTL) invalidate(loc Location) {
+// invalidateLoc drops the chip-side reverse mapping at loc.
+func (f *FTL) invalidateLoc(loc Location) {
 	cs := &f.chipsArr[loc.Chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	blk := &cs.blocks[loc.Row.Block]
-	if blk.lpns[loc.Row.Page] != invalidLPN {
+	if blk.lpns != nil && blk.lpns[loc.Row.Page] != invalidLPN {
 		blk.lpns[loc.Row.Page] = invalidLPN
 		blk.valid--
 		cs.livePages--
@@ -265,113 +365,32 @@ func (f *FTL) invalidate(loc Location) {
 
 // FreeBlocks reports erased blocks available on a chip.
 func (f *FTL) FreeBlocks(chip int) int {
-	return len(f.chipsArr[chip].freeList)
-}
-
-// NeedsGC reports whether a chip has run low on free blocks (at or below
-// the reserved watermark).
-func (f *FTL) NeedsGC(chip int) bool {
 	cs := &f.chipsArr[chip]
-	if cs.offline {
-		return false
-	}
-	free := len(cs.freeList)
-	if cs.active >= 0 {
-		free++
-	}
-	return free <= f.reserved
-}
-
-// GCCandidate picks the sealed block with the fewest live pages on a
-// chip (greedy policy) and returns its live logical pages. ok is false
-// when no sealed block exists.
-func (f *FTL) GCCandidate(chip int) (block int, liveLPNs []int, ok bool) {
-	cs := &f.chipsArr[chip]
-	if cs.offline {
-		return 0, nil, false
-	}
-	best, bestValid := -1, int(^uint(0)>>1)
-	for b := range cs.blocks {
-		blk := &cs.blocks[b]
-		if !blk.sealed || blk.bad {
-			continue
-		}
-		if blk.valid < bestValid {
-			best, bestValid = b, blk.valid
-		}
-	}
-	if best < 0 {
-		return 0, nil, false
-	}
-	blk := &cs.blocks[best]
-	for p, lpn := range blk.lpns {
-		_ = p
-		if lpn != invalidLPN {
-			liveLPNs = append(liveLPNs, lpn)
-		}
-	}
-	return best, liveLPNs, true
-}
-
-// RelocateForGC re-allocates a live page during GC: it assigns a new
-// physical page for lpn (counting a flash write but not a host write)
-// and returns the destination. The caller copies the data and erases the
-// victim afterwards.
-func (f *FTL) RelocateForGC(lpn int) (Location, error) {
-	loc, err := f.allocate(lpn, true)
-	if err != nil {
-		return loc, err
-	}
-	f.stats.FlashWrites++
-	f.stats.GCMoves++
-	return loc, nil
-}
-
-// RelocateForGCOn is RelocateForGC pinned to one chip, for relocation
-// mechanisms that cannot cross chips (NAND copyback moves data inside a
-// single LUN). It fails only if the chip's GC stream is out of space,
-// which the headroom rule prevents.
-func (f *FTL) RelocateForGCOn(chip, lpn int) (Location, error) {
-	if chip < 0 || chip >= f.chips {
-		return Location{}, fmt.Errorf("ftl: chip %d out of range", chip)
-	}
-	if lpn < 0 || lpn >= len(f.l2p) {
-		return Location{}, fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, len(f.l2p))
-	}
-	cs := &f.chipsArr[chip]
-	if !f.hasSpace(cs, true) {
-		return Location{}, fmt.Errorf("ftl: chip %d GC stream out of space", chip)
-	}
-	if f.mapped[lpn] {
-		f.invalidate(f.l2p[lpn])
-		f.mapped[lpn] = false
-	}
-	loc, ok := f.allocateOn(chip, cs, lpn, true)
-	if !ok {
-		return Location{}, fmt.Errorf("ftl: chip %d lost GC space mid-allocation", chip)
-	}
-	f.stats.FlashWrites++
-	f.stats.GCMoves++
-	return loc, nil
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.freeList)
 }
 
 // RetireBlock permanently removes a block from service after the media
 // reported a program or erase failure (grown bad block). Live pages the
 // caller could not relocate must be invalidated separately; the block is
 // dropped from the free list and from both write streams and will never
-// be selected again.
+// be selected again. Only the owning chip's lock is taken — retirement
+// on one chip never stalls lookups or GC scans elsewhere.
 func (f *FTL) RetireBlock(chip, block int) {
 	if chip < 0 || chip >= f.chips {
 		return
 	}
 	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if block < 0 || block >= len(cs.blocks) || cs.blocks[block].bad {
 		return
 	}
 	blk := &cs.blocks[block]
 	blk.bad = true
 	blk.sealed = true
-	f.stats.BadBlocks++
+	f.n.badBlocks.Add(1)
 	for i, b := range cs.freeList {
 		if b == block {
 			cs.freeList = append(cs.freeList[:i], cs.freeList[i+1:]...)
@@ -397,6 +416,8 @@ func (f *FTL) OfflineChip(chip int) {
 		return
 	}
 	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	cs.offline = true
 	cs.active = -1
 	cs.activeGC = -1
@@ -407,7 +428,10 @@ func (f *FTL) ChipOffline(chip int) bool {
 	if chip < 0 || chip >= f.chips {
 		return false
 	}
-	return f.chipsArr[chip].offline
+	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.offline
 }
 
 // ForceSealGC closes a chip's partially written GC-stream block so it
@@ -421,6 +445,8 @@ func (f *FTL) ForceSealGC(chip int) bool {
 		return false
 	}
 	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if cs.activeGC < 0 {
 		return false
 	}
@@ -434,6 +460,8 @@ func (f *FTL) ForceSealGC(chip int) bool {
 // caller bug and panics.
 func (f *FTL) OnErased(chip, block int) {
 	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	blk := &cs.blocks[block]
 	if blk.valid != 0 {
 		panic(fmt.Sprintf("ftl: erasing block %d on chip %d with %d live pages", block, chip, blk.valid))
@@ -446,7 +474,7 @@ func (f *FTL) OnErased(chip, block int) {
 	cs.erases++
 	cs.wear[block]++
 	cs.freeList = append(cs.freeList, block)
-	f.stats.GCErases++
+	f.n.gcErases.Add(1)
 }
 
 // WearSpread reports max−min erase counts across a chip's healthy
@@ -456,6 +484,8 @@ func (f *FTL) WearSpread(chip int) int {
 		return 0
 	}
 	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	min, max, seen := 0, 0, false
 	for b := range cs.blocks {
 		if cs.blocks[b].bad {
@@ -482,6 +512,8 @@ func (f *FTL) BlockWear(chip, block int) int {
 		return 0
 	}
 	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if block < 0 || block >= len(cs.wear) {
 		return 0
 	}
@@ -489,41 +521,9 @@ func (f *FTL) BlockWear(chip, block int) int {
 }
 
 // LivePages reports mapped logical pages on a chip.
-func (f *FTL) LivePages(chip int) int { return f.chipsArr[chip].livePages }
-
-// CheckInvariants verifies the bidirectional mapping consistency. Tests
-// and the property suite call it after mutation storms.
-func (f *FTL) CheckInvariants() error {
-	// Every mapped LPN's location must point back at it.
-	for lpn, ok := range f.mapped {
-		if !ok {
-			continue
-		}
-		loc := f.l2p[lpn]
-		blk := &f.chipsArr[loc.Chip].blocks[loc.Row.Block]
-		if got := blk.lpns[loc.Row.Page]; got != lpn {
-			return fmt.Errorf("ftl: L2P says LPN %d at %+v but reverse map says %d", lpn, loc, got)
-		}
-	}
-	// Valid counters must match the reverse maps.
-	for c := range f.chipsArr {
-		cs := &f.chipsArr[c]
-		live := 0
-		for b := range cs.blocks {
-			n := 0
-			for _, lpn := range cs.blocks[b].lpns {
-				if lpn != invalidLPN {
-					n++
-				}
-			}
-			if n != cs.blocks[b].valid {
-				return fmt.Errorf("ftl: chip %d block %d valid=%d but reverse map has %d", c, b, cs.blocks[b].valid, n)
-			}
-			live += n
-		}
-		if live != cs.livePages {
-			return fmt.Errorf("ftl: chip %d livePages=%d but blocks hold %d", c, cs.livePages, live)
-		}
-	}
-	return nil
+func (f *FTL) LivePages(chip int) int {
+	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.livePages
 }

@@ -1,0 +1,106 @@
+package ftl
+
+import "fmt"
+
+// Garbage-collection policy: watermark detection, greedy victim
+// selection, and live-page relocation. All of it is shard-aware in the
+// locking sense — candidate scans take only the victim chip's lock, and
+// relocations take only the moved LPN's map-shard lock plus the chips
+// involved — so GC on one chip never stalls lookups or allocations
+// against other chips or other LPN ranges.
+
+// NeedsGC reports whether a chip has run low on free blocks (at or below
+// the reserved watermark).
+func (f *FTL) NeedsGC(chip int) bool {
+	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.offline {
+		return false
+	}
+	free := len(cs.freeList)
+	if cs.active >= 0 {
+		free++
+	}
+	return free <= f.reserved
+}
+
+// GCCandidate picks the sealed block with the fewest live pages on a
+// chip (greedy policy) and returns its live logical pages. ok is false
+// when no sealed block exists. Only the chip's own lock is taken: the
+// scan is per-chip state, so concurrent GC on other chips (or lookups
+// anywhere) proceed untouched.
+func (f *FTL) GCCandidate(chip int) (block int, liveLPNs []int, ok bool) {
+	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.offline {
+		return 0, nil, false
+	}
+	best, bestValid := -1, int(^uint(0)>>1)
+	for b := range cs.blocks {
+		blk := &cs.blocks[b]
+		if !blk.sealed || blk.bad {
+			continue
+		}
+		if blk.valid < bestValid {
+			best, bestValid = b, blk.valid
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	blk := &cs.blocks[best]
+	for _, lpn := range blk.lpns {
+		if lpn != invalidLPN {
+			liveLPNs = append(liveLPNs, lpn)
+		}
+	}
+	return best, liveLPNs, true
+}
+
+// RelocateForGC re-allocates a live page during GC: it assigns a new
+// physical page for lpn (counting a flash write but not a host write)
+// and returns the destination. The caller copies the data and erases the
+// victim afterwards.
+func (f *FTL) RelocateForGC(lpn int) (Location, error) {
+	loc, err := f.allocate(lpn, true)
+	if err != nil {
+		return loc, err
+	}
+	f.n.flashWrites.Add(1)
+	f.n.gcMoves.Add(1)
+	return loc, nil
+}
+
+// RelocateForGCOn is RelocateForGC pinned to one chip, for relocation
+// mechanisms that cannot cross chips (NAND copyback moves data inside a
+// single LUN). It fails only if the chip's GC stream is out of space,
+// which the headroom rule prevents.
+func (f *FTL) RelocateForGCOn(chip, lpn int) (Location, error) {
+	if chip < 0 || chip >= f.chips {
+		return Location{}, fmt.Errorf("ftl: chip %d out of range", chip)
+	}
+	if lpn < 0 || lpn >= f.logical {
+		return Location{}, fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, f.logical)
+	}
+	sh := f.shard(lpn)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cs := &f.chipsArr[chip]
+	cs.mu.Lock()
+	ok := f.hasSpace(cs, true)
+	cs.mu.Unlock()
+	if !ok {
+		return Location{}, fmt.Errorf("ftl: chip %d GC stream out of space", chip)
+	}
+	f.clearMappingLocked(sh, lpn)
+	loc, allocOK := f.allocateOn(chip, lpn, true)
+	if !allocOK {
+		return Location{}, fmt.Errorf("ftl: chip %d lost GC space mid-allocation", chip)
+	}
+	f.setMappingLocked(sh, lpn, loc)
+	f.n.flashWrites.Add(1)
+	f.n.gcMoves.Add(1)
+	return loc, nil
+}

@@ -1,0 +1,253 @@
+package ftl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The L2P map is sharded by LPN range. Each shard owns a contiguous
+// range of translation-page groups and is guarded by its own RWMutex,
+// so lookups and allocations in different ranges never contend — the
+// map scales with the kernel's channel shards instead of serializing
+// them behind one lock.
+//
+// Shard boundaries are always whole translation pages (groups of
+// groupEntries L2P entries, one NAND page each): a map page never
+// straddles shards, which keeps the cache bookkeeping (cache.go)
+// per-shard too.
+//
+// Storage is lazy at group granularity: a shard starts with nil group
+// tables and allocates the 24-byte headers on first write, then each
+// group's entry slice on first write into that group. Building a
+// TB-class rig that touches a handful of LPNs therefore costs memory
+// proportional to the touched translation pages, not the drive size.
+
+// mapEntryBytes is the modeled DRAM cost of one L2P entry — the figure
+// FMMU-style designs use when a 4-byte-PPN-plus-metadata entry is laid
+// out in an 8-byte slot. It sizes translation-page groups
+// (PageBytes/mapEntryBytes entries per map page) and converts the
+// MapCacheBytes budget into cache slots.
+const mapEntryBytes = 8
+
+// mapShard is one independently locked LPN-range segment of the L2P
+// map. mu guards every field; Lookup takes it read-only.
+type mapShard struct {
+	base int // first LPN of the range
+	size int // LPNs in the range (last shard may be short)
+
+	mu sync.RWMutex
+
+	// Forward map, split into translation-page groups of groupEntries
+	// entries. Outer slices are nil until the shard's first write;
+	// inner slices are nil until their group's first write.
+	l2p    [][]Location
+	mapped [][]bool
+	live   int // mapped LPNs in this shard
+
+	// Translation-page cache state (cache.go); nil/empty when the
+	// cache is disabled.
+	resident map[int]int // global map-page number → slot index
+	slots    []cacheSlot
+	used     int // occupied slots
+	hand     int // clock hand
+}
+
+// initShards carves the logical space into nshards locked ranges,
+// rounding the shard size up to whole translation-page groups.
+func (f *FTL) initShards(nshards int) {
+	if nshards == 0 {
+		nshards = f.chips
+	}
+	groups := (f.logical + f.groupEntries - 1) / f.groupEntries
+	if groups < 1 {
+		groups = 1
+	}
+	if nshards > groups {
+		nshards = groups
+	}
+	perShard := (groups + nshards - 1) / nshards
+	f.shardSize = perShard * f.groupEntries
+	n := (f.logical + f.shardSize - 1) / f.shardSize
+	if n < 1 {
+		n = 1
+	}
+	f.shards = make([]mapShard, n)
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.base = i * f.shardSize
+		sh.size = f.shardSize
+		if rest := f.logical - sh.base; rest < sh.size {
+			sh.size = rest
+		}
+	}
+}
+
+// shard returns the owner of an in-range LPN.
+func (f *FTL) shard(lpn int) *mapShard {
+	return &f.shards[lpn/f.shardSize]
+}
+
+// MapShards reports the number of L2P map shards.
+func (f *FTL) MapShards() int { return len(f.shards) }
+
+// groupCount reports how many translation-page groups a shard spans.
+func (f *FTL) groupCount(sh *mapShard) int {
+	return (sh.size + f.groupEntries - 1) / f.groupEntries
+}
+
+// Lookup translates a logical page number. ok is false for never-written
+// pages. Allocation-free and safe to call concurrently from any
+// goroutine: only the owning shard's read lock is taken.
+func (f *FTL) Lookup(lpn int) (Location, bool) {
+	if lpn < 0 || lpn >= f.logical {
+		return Location{}, false
+	}
+	sh := f.shard(lpn)
+	idx := lpn - sh.base
+	g, o := idx/f.groupEntries, idx%f.groupEntries
+	sh.mu.RLock()
+	if sh.mapped == nil || sh.mapped[g] == nil || !sh.mapped[g][o] {
+		sh.mu.RUnlock()
+		return Location{}, false
+	}
+	loc := sh.l2p[g][o]
+	sh.mu.RUnlock()
+	return loc, true
+}
+
+// Invalidate drops a logical page's mapping (host TRIM, or a failed
+// program whose mapping must not survive).
+func (f *FTL) Invalidate(lpn int) {
+	if lpn < 0 || lpn >= f.logical {
+		return
+	}
+	sh := f.shard(lpn)
+	sh.mu.Lock()
+	f.clearMappingLocked(sh, lpn)
+	sh.mu.Unlock()
+}
+
+// clearMappingLocked drops lpn's mapping if present: chip-side reverse
+// entry, forward entry, shard live count, and the cache's dirty state
+// for the owning map page. Caller holds sh.mu exclusively.
+func (f *FTL) clearMappingLocked(sh *mapShard, lpn int) {
+	idx := lpn - sh.base
+	g, o := idx/f.groupEntries, idx%f.groupEntries
+	if sh.mapped == nil || sh.mapped[g] == nil || !sh.mapped[g][o] {
+		return
+	}
+	f.invalidateLoc(sh.l2p[g][o])
+	sh.mapped[g][o] = false
+	sh.live--
+	f.markDirtyLocked(sh, lpn)
+}
+
+// setMappingLocked records lpn → loc, allocating the group's storage on
+// first touch. Caller holds sh.mu exclusively and has already cleared
+// any previous mapping.
+func (f *FTL) setMappingLocked(sh *mapShard, lpn int, loc Location) {
+	idx := lpn - sh.base
+	g, o := idx/f.groupEntries, idx%f.groupEntries
+	if sh.l2p == nil {
+		n := f.groupCount(sh)
+		sh.l2p = make([][]Location, n)
+		sh.mapped = make([][]bool, n)
+	}
+	if sh.l2p[g] == nil {
+		sh.l2p[g] = make([]Location, f.groupEntries)
+		sh.mapped[g] = make([]bool, f.groupEntries)
+	}
+	sh.l2p[g][o] = loc
+	sh.mapped[g][o] = true
+	sh.live++
+	f.markDirtyLocked(sh, lpn)
+}
+
+// MappedPages reports the number of live logical pages drive-wide,
+// summed across shards under their read locks.
+func (f *FTL) MappedPages() int {
+	total := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		total += sh.live
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// CheckInvariants verifies the bidirectional mapping consistency plus
+// the sharded accounting: every forward entry must point at a reverse
+// entry naming it, per-block valid counts must match the reverse maps,
+// and the per-shard live counts must sum to the per-chip live counts.
+// Tests and the property suite call it after mutation storms.
+func (f *FTL) CheckInvariants() error {
+	// Every mapped LPN's location must point back at it, and every
+	// shard's live counter must equal its mapped-entry population.
+	shardLive := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		live := 0
+		for g := range sh.mapped {
+			for o, ok := range sh.mapped[g] {
+				if !ok {
+					continue
+				}
+				live++
+				lpn := sh.base + g*f.groupEntries + o
+				loc := sh.l2p[g][o]
+				cs := &f.chipsArr[loc.Chip]
+				cs.mu.Lock()
+				blk := &cs.blocks[loc.Row.Block]
+				got := invalidLPN
+				if blk.lpns != nil {
+					got = blk.lpns[loc.Row.Page]
+				}
+				cs.mu.Unlock()
+				if got != lpn {
+					sh.mu.RUnlock()
+					return fmt.Errorf("ftl: L2P says LPN %d at %+v but reverse map says %d", lpn, loc, got)
+				}
+			}
+		}
+		if live != sh.live {
+			sh.mu.RUnlock()
+			return fmt.Errorf("ftl: shard %d live=%d but mapped entries count %d", i, sh.live, live)
+		}
+		shardLive += live
+		sh.mu.RUnlock()
+	}
+	// Valid counters must match the reverse maps.
+	chipLive := 0
+	for c := range f.chipsArr {
+		cs := &f.chipsArr[c]
+		cs.mu.Lock()
+		live := 0
+		for b := range cs.blocks {
+			n := 0
+			for _, lpn := range cs.blocks[b].lpns {
+				if lpn != invalidLPN {
+					n++
+				}
+			}
+			if n != cs.blocks[b].valid {
+				cs.mu.Unlock()
+				return fmt.Errorf("ftl: chip %d block %d valid=%d but reverse map has %d", c, b, cs.blocks[b].valid, n)
+			}
+			live += n
+		}
+		if live != cs.livePages {
+			cs.mu.Unlock()
+			return fmt.Errorf("ftl: chip %d livePages=%d but blocks hold %d", c, cs.livePages, live)
+		}
+		chipLive += cs.livePages
+		cs.mu.Unlock()
+	}
+	// The sharded forward map and the per-chip reverse accounting are
+	// two views of the same live-page population.
+	if shardLive != chipLive {
+		return fmt.Errorf("ftl: shard live sum %d != chip live sum %d", shardLive, chipLive)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/onfi"
+)
+
+// stormOps drives one deterministic write/overwrite/trim storm with
+// interleaved GC, identical for every FTL it is replayed against.
+func stormOps(t *testing.T, f *FTL, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	logical := f.LogicalPages()
+	for i := 0; i < ops; i++ {
+		lpn := rng.Intn(logical / 2) // half the space → overwrites → garbage
+		switch rng.Intn(10) {
+		case 0:
+			f.Invalidate(lpn)
+		default:
+			if _, err := f.AllocateWrite(lpn); err != nil {
+				// Out of space: run one GC pass on every chip that
+				// needs it, then retry once.
+				for c := 0; c < f.Chips(); c++ {
+					gcOnce(t, f, c)
+				}
+				if _, err := f.AllocateWrite(lpn); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		}
+		for c := 0; c < f.Chips(); c++ {
+			if f.NeedsGC(c) {
+				gcOnce(t, f, c)
+			}
+		}
+	}
+}
+
+// gcOnce relocates one victim block's live pages and erases it.
+func gcOnce(t *testing.T, f *FTL, chip int) {
+	t.Helper()
+	victim, live, ok := f.GCCandidate(chip)
+	if !ok {
+		return
+	}
+	for _, lpn := range live {
+		if loc, lok := f.Lookup(lpn); !lok || loc.Chip != chip || loc.Row.Block != victim {
+			continue // overwritten since the candidate scan
+		}
+		if _, err := f.RelocateForGCOn(chip, lpn); err != nil {
+			t.Fatalf("relocate chip %d lpn %d: %v", chip, lpn, err)
+		}
+	}
+	f.OnErased(chip, victim)
+}
+
+// fingerprint renders the full logical state for equality comparison.
+func fingerprint(f *FTL) string {
+	var b strings.Builder
+	for lpn := 0; lpn < f.LogicalPages(); lpn++ {
+		loc, ok := f.Lookup(lpn)
+		if ok {
+			fmt.Fprintf(&b, "%d:%d/%d/%d\n", lpn, loc.Chip, loc.Row.Block, loc.Row.Page)
+		}
+	}
+	s := f.Stats()
+	fmt.Fprintf(&b, "stats:%+v\n", s)
+	return b.String()
+}
+
+// TestMapShardCountInvariance pins the tentpole's determinism contract
+// at the FTL level: the shard count changes locking and memory
+// granularity, never an allocation decision, so the same op storm must
+// leave byte-identical logical state at every count.
+func TestMapShardCountInvariance(t *testing.T) {
+	build := func(shards int) *FTL {
+		f, err := NewWithConfig(Config{
+			Geometry: testGeo(), Chips: 4, ReservedBlocks: 2, MapShards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ref := build(1)
+	stormOps(t, ref, 42, 400)
+	want := fingerprint(ref)
+	if ref.Stats().GCErases == 0 {
+		t.Fatal("storm never triggered GC; invariance check is vacuous")
+	}
+	for _, shards := range []int{0, 2, 8} {
+		f := build(shards)
+		stormOps(t, f, 42, 400)
+		if got := fingerprint(f); got != want {
+			t.Errorf("MapShards=%d diverged from MapShards=1", shards)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Errorf("MapShards=%d: %v", shards, err)
+		}
+	}
+}
+
+// TestLazyMapMemoryFootprint is the memory regression gate for the
+// lazy-init satellite: building a large-geometry FTL and touching a
+// handful of LPNs must cost memory proportional to the touched
+// translation groups, not the drive capacity. The eager layout this PR
+// replaced allocated the full L2P table plus every block's reverse map
+// up front (~100 MB at this shape); lazy init defers both to first
+// write.
+func TestLazyMapMemoryFootprint(t *testing.T) {
+	geo := onfi.Geometry{
+		Planes: 1, BlocksPerLUN: 4096, PagesPerBlk: 128,
+		PageBytes: 4096, SpareBytes: 128,
+	}
+	const chips = 8
+	logical := chips * (geo.BlocksPerLUN - 2) * geo.PagesPerBlk
+	// What the pre-lazy layout paid before the first host op: 16-byte
+	// L2P entries, the mapped bitmap, and an 8-byte reverse-map entry
+	// per physical page.
+	eager := uint64(logical)*17 + uint64(chips*geo.BlocksPerLUN*geo.PagesPerBlk)*8
+	if eager < 50<<20 {
+		t.Fatalf("geometry too small to make the point: eager cost only %d bytes", eager)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f, err := New(geo, chips, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := 0; lpn < 100; lpn++ {
+		if _, err := f.AllocateWrite(lpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := after.HeapAlloc - before.HeapAlloc
+	if loc, ok := f.Lookup(50); !ok || loc.Chip < 0 {
+		t.Fatal("written page did not map")
+	}
+	// Block metadata stays eager (small); the budget below allows it
+	// plus the touched groups with room for allocator noise, while
+	// sitting far under the eager table cost.
+	if limit := eager / 8; delta > limit {
+		t.Errorf("building + touching 100 LPNs cost %d bytes of heap; want < %d (eager layout cost %d)",
+			delta, limit, eager)
+	}
+	runtime.KeepAlive(f)
+}
+
+// TestStatsConcurrentReaders pins the -http monitor path: Stats,
+// CacheStats, MappedPages, LivePages, and Lookup must be safe (and
+// race-clean) while another goroutine mutates the FTL mid-run. Run
+// under -race; before the counters became atomics this was a data race
+// on every field.
+func TestStatsConcurrentReaders(t *testing.T) {
+	f, err := NewWithConfig(Config{
+		Geometry: testGeo(), Chips: 4, ReservedBlocks: 2, MapCacheBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = f.Stats().WriteAmplification()
+				_ = f.CacheStats().HitRate()
+				_ = f.CacheInfo()
+				_ = f.MappedPages()
+				for c := 0; c < f.Chips(); c++ {
+					_ = f.LivePages(c)
+					_ = f.FreeBlocks(c)
+					_ = f.WearSpread(c)
+				}
+				for lpn := 0; lpn < f.LogicalPages(); lpn += 7 {
+					f.Lookup(lpn)
+				}
+			}
+		}()
+	}
+	stormOps(t, f, 7, 600)
+	close(stop)
+	wg.Wait()
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryRacesGCRelocation exercises the shard-aware recovery
+// paths concurrently: GC relocation grinding on one chip while
+// RetireBlock and OfflineChip fire on others and readers scan
+// everything. Run under -race. The per-shard/per-chip locking must keep
+// the bidirectional map consistent through all of it — CheckInvariants
+// is the arbiter.
+func TestRecoveryRacesGCRelocation(t *testing.T) {
+	f, err := NewWithConfig(Config{
+		Geometry: testGeo(), Chips: 4, ReservedBlocks: 2, MapShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed every chip with garbage so GC has victims.
+	stormOps(t, f, 11, 300)
+
+	var wg sync.WaitGroup
+	// GC worker: relocate-and-erase on chip 0 only.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			victim, live, ok := f.GCCandidate(0)
+			if !ok {
+				return
+			}
+			// Only this goroutine mutates chip 0's mappings, so once
+			// every live LPN relocates the victim is empty and safe to
+			// erase.
+			for _, lpn := range live {
+				if loc, lok := f.Lookup(lpn); !lok || loc.Chip != 0 || loc.Row.Block != victim {
+					continue // trimmed since the candidate scan
+				}
+				if _, err := f.RelocateForGCOn(0, lpn); err != nil {
+					return // GC stream exhausted; fine
+				}
+			}
+			f.OnErased(0, victim)
+		}
+	}()
+	// Recovery worker: retire blocks on chip 1, then offline chip 2 —
+	// different chips and (mostly) different map shards than the GC
+	// worker's traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < 4; b++ {
+			f.RetireBlock(1, b)
+		}
+		f.OfflineChip(2)
+		f.RetireBlock(1, 100) // out of range: must be a safe no-op
+		f.OfflineChip(-1)
+	}()
+	// Reader worker: full scans while both mutators run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for lpn := 0; lpn < f.LogicalPages(); lpn++ {
+				f.Lookup(lpn)
+			}
+			_ = f.Stats()
+		}
+	}()
+	wg.Wait()
+
+	if !f.ChipOffline(2) {
+		t.Error("chip 2 should be offline")
+	}
+	if got := f.Stats().BadBlocks; got != 4 {
+		t.Errorf("BadBlocks = %d, want 4", got)
+	}
+	if f.NeedsGC(2) {
+		t.Error("offline chip must never report NeedsGC")
+	}
+	if _, _, ok := f.GCCandidate(2); ok {
+		t.Error("offline chip must never offer GC candidates")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsCatchesShardLiveSkew pins the extended invariant:
+// per-shard live accounting must sum to the per-chip totals, and a
+// corrupted shard counter must be reported, not silently tolerated.
+func TestCheckInvariantsCatchesShardLiveSkew(t *testing.T) {
+	f, err := NewWithConfig(Config{
+		Geometry: testGeo(), Chips: 2, ReservedBlocks: 2, MapShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := 0; lpn < 16; lpn++ {
+		if _, err := f.AllocateWrite(lpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+	f.shards[0].live++ // simulate a lost decrement
+	err = f.CheckInvariants()
+	if err == nil {
+		t.Fatal("skewed shard live count not detected")
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Errorf("error %q does not name the shard accounting", err)
+	}
+}
+
+// TestShardLayoutRoundsToGroups pins the sizing rule: shard boundaries
+// are whole translation pages, the shard count caps at the group count,
+// and every LPN lands in exactly one shard.
+func TestShardLayoutRoundsToGroups(t *testing.T) {
+	f, err := NewWithConfig(Config{
+		Geometry: testGeo(), Chips: 4, ReservedBlocks: 2, MapShards: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// testGeo: 512B pages → 64 entries per translation page; 4 chips ×
+	// 6 exported blocks × 4 pages = 96 LPNs → 2 groups. 64 requested
+	// shards must collapse to 2.
+	if got := f.MapShards(); got != 2 {
+		t.Fatalf("MapShards = %d, want 2 (capped at group count)", got)
+	}
+	if f.shardSize%f.groupEntries != 0 {
+		t.Errorf("shard size %d not a multiple of group entries %d", f.shardSize, f.groupEntries)
+	}
+	covered := 0
+	for i := range f.shards {
+		covered += f.shards[i].size
+	}
+	if covered != f.LogicalPages() {
+		t.Errorf("shards cover %d LPNs, want %d", covered, f.LogicalPages())
+	}
+}

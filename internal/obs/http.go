@@ -43,6 +43,41 @@ func ShardsHandler(snap func() Snapshot) http.Handler {
 	})
 }
 
+// FTLHandler serves the FTL map-cache view of a metrics registry:
+// translation hit/miss/eviction/flush totals and the derived hit rate —
+// the live panel behind `babolbench -http` at /ftl. snap is called once
+// per request; hand it (*SyncMetrics).Snapshot when rigs feed it
+// concurrently. All counters stay zero until a rig with the map cache
+// enabled (-mapcache) reports in.
+func FTLHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ftlWire(snap()))
+	})
+}
+
+type ftlViewWire struct {
+	MapCacheActive bool    `json:"map_cache_active"`
+	MapHits        uint64  `json:"map_hits"`
+	MapMisses      uint64  `json:"map_misses"`
+	MapHitRate     float64 `json:"map_hit_rate"`
+	MapEvictions   uint64  `json:"map_evictions"`
+	MapFlushes     uint64  `json:"map_flushes"`
+}
+
+func ftlWire(s Snapshot) ftlViewWire {
+	return ftlViewWire{
+		MapCacheActive: s.MapCacheActive(),
+		MapHits:        s.MapHits,
+		MapMisses:      s.MapMisses,
+		MapHitRate:     s.MapHitRate(),
+		MapEvictions:   s.MapEvictions,
+		MapFlushes:     s.MapFlushes,
+	}
+}
+
 type shardRowWire struct {
 	Shard       int     `json:"shard"`
 	BusyWindows uint64  `json:"busy_windows"`

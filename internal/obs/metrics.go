@@ -180,12 +180,39 @@ type Snapshot struct {
 	WindowEvents Histogram
 	Mailboxes    map[MailboxKey]MailboxMetrics
 
+	// MapHits..MapFlushes aggregate the FTL translation-page cache's
+	// KindMapCache events: hits served from resident map pages, misses
+	// that charged a NAND map-page read, clock evictions, and dirty
+	// evictions (modeled write-backs). All zero when the map cache is
+	// disabled — no KindMapCache events enter the stream.
+	MapHits      uint64
+	MapMisses    uint64
+	MapEvictions uint64
+	MapFlushes   uint64
+
 	Channels map[int]ChannelMetrics
 	Chips    map[ChipKey]ChipMetrics
 }
 
 // Span is the virtual time covered by the observed events.
 func (s Snapshot) Span() sim.Duration { return s.LastEvent.Sub(s.FirstEvent) }
+
+// MapCacheActive reports whether the stream carried any FTL map-cache
+// activity — the gate for conditional report sections, so traces from
+// cache-disabled runs render byte-identically to pre-cache builds.
+func (s Snapshot) MapCacheActive() bool {
+	return s.MapHits+s.MapMisses+s.MapEvictions+s.MapFlushes > 0
+}
+
+// MapHitRate reports map-cache hits / (hits + misses), or 0 before any
+// translation traffic.
+func (s Snapshot) MapHitRate() float64 {
+	total := s.MapHits + s.MapMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MapHits) / float64(total)
+}
 
 // SoftwareShare is SoftwareTime / (SoftwareTime + HardwareTime) — the
 // Table II-style decomposition of where a configuration's time goes.
@@ -270,6 +297,11 @@ type Metrics struct {
 	shards       map[int]*ShardMetrics
 	windowEvents Histogram
 	mailboxes    map[MailboxKey]MailboxMetrics
+
+	mapHits      uint64
+	mapMisses    uint64
+	mapEvictions uint64
+	mapFlushes   uint64
 
 	channels map[int]*ChannelMetrics
 	chips    map[ChipKey]*ChipMetrics
@@ -381,6 +413,17 @@ func (m *Metrics) Event(e Event) {
 			mb.Peak = int64(e.Depth)
 		}
 		m.mailboxes[k] = mb
+	case KindMapCache:
+		switch e.Label {
+		case "hit":
+			m.mapHits++
+		case "miss":
+			m.mapMisses++
+		case "evict":
+			m.mapEvictions++
+		case "flush":
+			m.mapFlushes++
+		}
 	}
 }
 
@@ -430,6 +473,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Recoveries:        m.recoveries,
 		ShardWindows:      m.shardWindows,
 		WindowEvents:      m.windowEvents,
+		MapHits:           m.mapHits,
+		MapMisses:         m.mapMisses,
+		MapEvictions:      m.mapEvictions,
+		MapFlushes:        m.mapFlushes,
 		Charges:           make(map[string]ChargeStats, len(m.charges)),
 		FaultsByLabel:     make(map[string]uint64, len(m.faultsBy)),
 		RecoveriesByLabel: make(map[string]uint64, len(m.recovsBy)),

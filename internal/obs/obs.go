@@ -81,6 +81,15 @@ const (
 	// destination domain, Cycles the total posts collected, and Depth
 	// the peak in-flight depth (collected but not yet delivered).
 	KindShardMailbox
+	// KindMapCache fires from the FTL translation-page cache when the
+	// map cache is enabled (MapCacheBytes > 0): Label is "hit" (the
+	// LPN's translation page was resident), "miss" (a NAND read of the
+	// map page was charged through the ops path; Chip is the map
+	// page's modeled LUN), "evict" (the clock displaced a resident
+	// page), or "flush" (the displaced page was dirty — a modeled
+	// map write-back). Disabled caches emit nothing, keeping traces
+	// byte-identical to pre-cache builds.
+	KindMapCache
 )
 
 var kindNames = [...]string{
@@ -99,6 +108,7 @@ var kindNames = [...]string{
 	KindRecovery:      "recovery",
 	KindShardWindow:   "shard-window",
 	KindShardMailbox:  "shard-mailbox",
+	KindMapCache:      "map-cache",
 }
 
 func (k Kind) String() string {

@@ -54,6 +54,18 @@ type BuildConfig struct {
 	ReservedBlocks int            // FTL over-provisioning per chip (default 2)
 	Slots          int            // in-flight DRAM staging slots (default 2×ways)
 	WithECC        bool
+	// MapShards splits the FTL's L2P map into independently locked
+	// LPN-range shards. 0 sizes the map to the kernel shard layout:
+	// one map shard per cluster shard on sharded rigs, one per chip
+	// otherwise. Pure concurrency/memory granularity — results are
+	// identical at any count.
+	MapShards int
+	// MapCacheBytes bounds the DRAM budget of the FTL's translation
+	// map (ftl.Config.MapCacheBytes): map pages are demand-paged under
+	// this budget and misses are charged as NAND reads through the
+	// ordinary ops path. 0 keeps the whole map resident (the legacy
+	// model, byte-identical results).
+	MapCacheBytes int64
 	// UseCopyback relocates GC pages with NAND copyback (BABOL only).
 	UseCopyback bool
 	// SuspendReads lets host reads preempt GC erases (BABOL only).
@@ -254,7 +266,19 @@ func Build(cfg BuildConfig) (*Rig, error) {
 	memSize := cfg.Slots*slotSize + cfg.Channels*(128<<10) // slots + per-controller scratch
 	mem := dram.New(memSize)
 
-	f, err := ftl.New(geo, cfg.Ways*cfg.Channels, cfg.ReservedBlocks)
+	mapShards := cfg.MapShards
+	if mapShards == 0 && shards > 0 {
+		// Size the map to the kernel shard layout: lock domains in the
+		// translation map line up one-to-one with the cluster's event
+		// domains, so a sharded rig never funnels its channels through
+		// fewer map locks than it has kernels.
+		mapShards = shards
+	}
+	f, err := ftl.NewWithConfig(ftl.Config{
+		Geometry: geo, Chips: cfg.Ways * cfg.Channels,
+		ReservedBlocks: cfg.ReservedBlocks,
+		MapShards:      mapShards, MapCacheBytes: cfg.MapCacheBytes,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,108 @@
+package ssd
+
+import (
+	"errors"
+
+	"repro/internal/hic"
+	"repro/internal/obs"
+	"repro/internal/ops"
+)
+
+// Map-cache miss service: when the FTL's translation-page cache
+// (ftl/cache.go) reports a miss, the host command parks here while the
+// map page is read from NAND through the ordinary slot/backend path —
+// the same DRAM staging, channel arbitration, and die timing a data
+// read pays, so the translation cost appears in latency figures and
+// traces rather than as a free counter bump. Concurrent misses on one
+// map page coalesce behind a single flash read.
+//
+// Faults on map-page reads recover exactly like data reads: a
+// RESET-recovered chip gets bounded reissues, a dead chip is taken
+// offline. Either way the load completes and installs the page —
+// the backing map (always materialized) stays authoritative, so a
+// failed map read degrades timing fidelity, never correctness; an
+// offline map chip models journal reconstruction from the surviving
+// metadata copies.
+
+// mapWaiter is one host command parked on a translation-page load. A
+// plain struct, not a closure: parking must not allocate per-command
+// state beyond the slice slot.
+type mapWaiter struct {
+	cmd   hic.Command
+	write bool
+}
+
+// mapMiss parks a host command on its map page's load, issuing the
+// NAND read if this is the page's first outstanding miss.
+func (s *SSD) mapMiss(mpn int, w mapWaiter) {
+	loc := s.ftl.MapPageLocation(mpn)
+	s.mapEvent("miss", loc.Chip)
+	s.mapLoads[mpn] = append(s.mapLoads[mpn], w)
+	if len(s.mapLoads[mpn]) == 1 {
+		s.loadMapPage(mpn, 0)
+	}
+}
+
+// loadMapPage charges the NAND read of map page mpn. The modeled
+// location comes from the FTL's deterministic map layout; a chip that
+// is already offline skips the flash read entirely (reconstruction
+// from journaled metadata, no channel traffic to a dead die).
+func (s *SSD) loadMapPage(mpn, attempt int) {
+	loc := s.ftl.MapPageLocation(mpn)
+	if s.offline[loc.Chip] {
+		s.finishMapLoad(mpn)
+		return
+	}
+	s.acquireSlot(func(addr int) {
+		// Raw page read: map pages carry firmware metadata with its own
+		// journaling/CRC story, not host data, so the host-data ECC
+		// decode and the urgent-read erase bypass both stay out of the
+		// path.
+		s.backend.ReadPage(loc.Chip, loc.Row, addr, s.pageBytes, func(err error) {
+			s.releaseSlot(addr)
+			switch {
+			case err == nil:
+			case errors.Is(err, ops.ErrResetRecovered):
+				if attempt+1 < maxReadRetries {
+					s.stats.RecoveredOps++
+					s.loadMapPage(mpn, attempt+1)
+					return
+				}
+				s.offlineChip(loc.Chip)
+			case errors.Is(err, ops.ErrChipDead):
+				s.offlineChip(loc.Chip)
+			}
+			s.finishMapLoad(mpn)
+		})
+	})
+}
+
+// finishMapLoad installs the loaded page and releases every command
+// parked on it, in arrival order.
+func (s *SSD) finishMapLoad(mpn int) {
+	evicted, flushed := s.ftl.CacheInstall(mpn)
+	if evicted {
+		s.mapEvent("evict", -1)
+	}
+	if flushed {
+		s.mapEvent("flush", -1)
+	}
+	ws := s.mapLoads[mpn]
+	delete(s.mapLoads, mpn)
+	for _, w := range ws {
+		if w.write {
+			s.writeMapped(w.cmd)
+		} else {
+			s.readMapped(w.cmd)
+		}
+	}
+}
+
+// mapEvent emits a map-cache trace event. chip is the map page's
+// modeled LUN for misses and -1 where no die is involved.
+func (s *SSD) mapEvent(label string, chip int) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Event(obs.Event{Time: s.k.Now(), Kind: obs.KindMapCache, Chip: chip, Label: label})
+}

@@ -117,6 +117,15 @@ type SSD struct {
 	inflightPrograms map[int]int
 	programWaiters   map[int][]func()
 
+	// mapCache mirrors ftl.CacheEnabled(): when set, every host read
+	// and write first acquires its LPN's translation page from the
+	// FTL's map cache, and a miss charges a real NAND read of the map
+	// page through the ordinary slot/backend path before the host op
+	// proceeds. mapLoads coalesces concurrent misses on the same map
+	// page: the first miss issues the flash read, later ones just park.
+	mapCache bool
+	mapLoads map[int][]mapWaiter
+
 	gcRunning    map[int]bool
 	useCopyback  bool
 	suspendReads bool
@@ -177,6 +186,10 @@ func New(cfg Config) (*SSD, error) {
 		inflightPrograms: make(map[int]int),
 		programWaiters:   make(map[int][]func()),
 	}
+	if cfg.FTL.CacheEnabled() {
+		s.mapCache = true
+		s.mapLoads = make(map[int][]mapWaiter)
+	}
 	for i := 0; i < cfg.Slots; i++ {
 		s.freeSlots = append(s.freeSlots, cfg.SlotBase+i*slotSize)
 	}
@@ -232,6 +245,21 @@ func (s *SSD) complete(cmd hic.Command, err error) {
 }
 
 func (s *SSD) read(cmd hic.Command) {
+	if s.mapCache {
+		mpn, hit := s.ftl.CacheAcquire(cmd.LPN)
+		if !hit {
+			s.mapMiss(mpn, mapWaiter{cmd: cmd})
+			return
+		}
+		s.mapEvent("hit", -1)
+	}
+	s.readMapped(cmd)
+}
+
+// readMapped runs a host read whose translation page is resident (or
+// whose drive models the whole map as resident — the cache-disabled
+// default).
+func (s *SSD) readMapped(cmd hic.Command) {
 	loc, ok := s.ftl.Lookup(cmd.LPN)
 	if !ok {
 		// Reading a never-written page: NVMe returns zeroes; no flash
@@ -425,6 +453,28 @@ func (s *SSD) awaitProgram(lpn int, fn func()) {
 // write expects the host payload to already be staged by the caller; the
 // generator model writes a deterministic pattern derived from the LPN.
 func (s *SSD) write(cmd hic.Command) {
+	if s.degraded {
+		s.complete(cmd, ErrReadOnly)
+		return
+	}
+	if s.mapCache {
+		// Acquire the translation page before taking a DRAM slot: the
+		// map load itself needs a slot, so gating here keeps a
+		// one-slot drive from deadlocking behind its own map read.
+		mpn, hit := s.ftl.CacheAcquire(cmd.LPN)
+		if !hit {
+			s.mapMiss(mpn, mapWaiter{cmd: cmd, write: true})
+			return
+		}
+		s.mapEvent("hit", -1)
+	}
+	s.writeMapped(cmd)
+}
+
+// writeMapped runs a host write whose translation page is resident. The
+// degraded latch is re-checked: the drive may have gone read-only while
+// this write waited on its map-page load.
+func (s *SSD) writeMapped(cmd hic.Command) {
 	if s.degraded {
 		s.complete(cmd, ErrReadOnly)
 		return

@@ -59,8 +59,8 @@ func rtfMeasure(t *testing.T, channels, ways, shards int) float64 {
 
 // TestRealTimeFactorFloor is the CI gate for simulation speed: the
 // measured real-time factor must stay above the floors recorded in
-// BENCH_8.json. The floors are deliberately far below the numbers a
-// development machine measures (see BENCH_8.json's headline) — shared
+// BENCH_9.json. The floors are deliberately far below the numbers a
+// development machine measures (see BENCH_9.json's headline) — shared
 // CI runners are slow and noisy — so a failure here means a multi-x
 // regression in the event engine or the operation hot path, not
 // scheduling jitter. The windowed floor additionally guards the
@@ -73,7 +73,7 @@ func TestRealTimeFactorFloor(t *testing.T) {
 	if os.Getenv("RTF_FLOOR_CHECK") == "" {
 		t.Skip("wall-clock floor check; enable with RTF_FLOOR_CHECK=1")
 	}
-	raw, err := os.ReadFile("BENCH_8.json")
+	raw, err := os.ReadFile("BENCH_9.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestRealTimeFactorFloor(t *testing.T) {
 	}
 	if bench.CI.RTFFloor1ch8way <= 0 || bench.CI.RTFFloorFullDrive8ch8way <= 0 ||
 		bench.CI.RTFFloorFullDriveWindow <= 0 {
-		t.Fatal("BENCH_8.json ci floors missing or zero; the gate is vacuous")
+		t.Fatal("BENCH_9.json ci floors missing or zero; the gate is vacuous")
 	}
 	for _, c := range []struct {
 		name           string
@@ -111,7 +111,7 @@ func TestRealTimeFactorFloor(t *testing.T) {
 			}
 		}
 		if best < c.floor {
-			t.Errorf("%s: real-time factor %.2f virtual-s/wall-s below floor %.2f (BENCH_8.json)",
+			t.Errorf("%s: real-time factor %.2f virtual-s/wall-s below floor %.2f (BENCH_9.json)",
 				c.name, best, c.floor)
 		} else {
 			t.Logf("%s: %.2f virtual-s/wall-s (floor %.2f)", c.name, best, c.floor)
