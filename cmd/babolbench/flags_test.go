@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/hic"
 	"repro/internal/sim"
 )
 
@@ -87,6 +88,30 @@ func TestFlagParsing(t *testing.T) {
 		opt := c.options()
 		if opt.Parallel != 3 || opt.Ops != 12 {
 			t.Errorf("Parallel=%d Ops=%d, want 3 and 12", opt.Parallel, opt.Ops)
+		}
+	})
+
+	t.Run("workload-defaults", func(t *testing.T) {
+		c := parse(t, "workload")
+		if c.queues != 0 || c.arb != "rr" || c.record != "" || c.replay != "" {
+			t.Errorf("workload defaults = queues %d arb %q record %q replay %q",
+				c.queues, c.arb, c.record, c.replay)
+		}
+		if arb, err := arbitration(c.arb); err != nil || arb != hic.RoundRobin {
+			t.Errorf("arbitration(%q) = %v, %v; want RoundRobin", c.arb, arb, err)
+		}
+	})
+
+	t.Run("workload-flags", func(t *testing.T) {
+		c := parse(t, "-queues", "2", "-arb", "wrr", "-record", "cmds.jsonl", "workload")
+		if c.queues != 2 || c.record != "cmds.jsonl" {
+			t.Errorf("queues=%d record=%q, want 2 and cmds.jsonl", c.queues, c.record)
+		}
+		if arb, err := arbitration(c.arb); err != nil || arb != hic.WeightedRoundRobin {
+			t.Errorf("arbitration(%q) = %v, %v; want WeightedRoundRobin", c.arb, arb, err)
+		}
+		if _, err := arbitration("drr"); err == nil {
+			t.Error("unknown arbitration accepted")
 		}
 	})
 

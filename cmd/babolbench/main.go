@@ -35,6 +35,20 @@
 // budget to every figure rig, shifting the paper figures by the
 // modeled map-read traffic.
 //
+// and a many-tenant QoS experiment over the multi-queue host frontend:
+//
+//	babolbench workload
+//
+// which runs a fixed cast of tenants — a sequential streamer, a zipfian
+// hot-set reader, a bursty writer, and a mixed read/write/trim tenant —
+// through NVMe-style submission queues sharing one drive, each tenant
+// solo and then all contended, and reports per-tenant latency, slowdown,
+// and Jain's fairness (also excluded from `all`). -queues sets the
+// submission-queue count, -arb picks rr or wrr arbitration, -record
+// captures the contended run's host command stream as a hic JSONL trace,
+// and -replay plays such a trace back open loop on a fresh rig,
+// reproducing the recorded command stream exactly.
+//
 // plus the software logic analyzer over recorded traces:
 //
 //	babolbench analyze trace.jsonl
@@ -86,9 +100,80 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/exp"
+	"repro/internal/hic"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// arbitration resolves the -arb flag.
+func arbitration(name string) (hic.Arbitration, error) {
+	switch name {
+	case "rr", "":
+		return hic.RoundRobin, nil
+	case "wrr":
+		return hic.WeightedRoundRobin, nil
+	}
+	return 0, fmt.Errorf("-arb %q: want rr or wrr", name)
+}
+
+// runWorkload is the `babolbench workload` subcommand: with -replay,
+// play a recorded hic trace back on a fresh rig; otherwise run the
+// many-tenant solo-versus-contended sweep, optionally capturing the
+// contended run's command stream with -record.
+func runWorkload(c *cli, opt exp.Options) error {
+	arb, err := arbitration(c.arb)
+	if err != nil {
+		return err
+	}
+	cfg := exp.WorkloadConfig{Queues: c.queues, Arbitration: arb}
+	if c.replay != "" {
+		f, err := os.Open(c.replay)
+		if err != nil {
+			return err
+		}
+		entries, err := hic.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.replay, err)
+		}
+		res, err := exp.ReplayWorkload(opt, cfg, entries)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %d host commands (%d failed) over %s: mean %s, p99 %s, %.0f IOPS\n",
+			res.Done(), res.Failed, res.Elapsed(), res.MeanLatency(),
+			res.LatencyPercentile(99), res.IOPS())
+		return nil
+	}
+	if c.record != "" {
+		cfg.Recorder = &hic.Recorder{}
+	}
+	r, err := exp.Workloads(opt, cfg)
+	if err != nil {
+		return err
+	}
+	if c.csv {
+		fmt.Print(exp.WorkloadCSV(r))
+	} else {
+		fmt.Println(exp.RenderWorkload(r, arb))
+	}
+	if c.record != "" {
+		f, err := os.Create(c.record)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Recorder.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "babolbench: recorded %d host commands to %s\n",
+			cfg.Recorder.Len(), c.record)
+	}
+	return nil
+}
 
 // analyzeTrace is the `babolbench analyze` subcommand: decode a JSONL
 // trace and run the software logic analyzer over it.
@@ -122,6 +207,7 @@ func serveIntrospection(addr string) (obs.Tracer, error) {
 	mux.Handle("/metrics", obs.MetricsHandler(live.Snapshot))
 	mux.Handle("/shards", obs.ShardsHandler(live.Snapshot))
 	mux.Handle("/ftl", obs.FTLHandler(live.Snapshot))
+	mux.Handle("/tenants", obs.TenantsHandler(live.Snapshot))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -159,6 +245,10 @@ type cli struct {
 	seeds     int
 	httpAddr  string
 	mapCache  int64
+	queues    int
+	arb       string
+	record    string
+	replay    string
 }
 
 func newCLI(errOut io.Writer) *cli {
@@ -175,10 +265,15 @@ func newCLI(errOut io.Writer) *cli {
 	c.fs.IntVar(&c.seeds, "seeds", 8, "number of seeded fault plans for the chaos soak")
 	c.fs.StringVar(&c.httpAddr, "http", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address during the run, e.g. :6060")
 	c.fs.Int64Var(&c.mapCache, "mapcache", 0, "FTL translation-map DRAM budget in bytes (map pages demand-paged, misses charged as NAND reads; 0 = whole map resident)")
+	c.fs.IntVar(&c.queues, "queues", 0, "workload: frontend submission-queue count (0 = one per tenant; tenants share queues when fewer)")
+	c.fs.StringVar(&c.arb, "arb", "rr", "workload: submission-queue arbitration, rr or wrr (wrr gives queue 0 a 4-command burst)")
+	c.fs.StringVar(&c.record, "record", "", "workload: write the contended run's host command stream to this hic JSONL trace")
+	c.fs.StringVar(&c.replay, "replay", "", "workload: replay this hic JSONL trace on a fresh rig instead of the synthetic tenants")
 	c.fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: babolbench [-ops N] [-blocks N] [-parallel N] [-shards N] [-shardtrace] [-mapcache BYTES] [-trace out.jsonl] [-http :PORT] table1|table2|table3|fig9|fig10|fig11|fig12|split|all\n")
 		fmt.Fprintf(errOut, "       babolbench [-ops N] [-parallel N] [-shards N] [-trace out.jsonl] mapcache\n")
 		fmt.Fprintf(errOut, "       babolbench [-ops N] [-seeds N] [-parallel N] [-shards N] [-mapcache BYTES] [-trace out.jsonl] chaos\n")
+		fmt.Fprintf(errOut, "       babolbench [-ops N] [-queues N] [-arb rr|wrr] [-parallel N] [-shards N] [-record cmds.jsonl | -replay cmds.jsonl] [-trace out.jsonl] workload\n")
 		fmt.Fprintf(errOut, "       babolbench [-csv] analyze trace.jsonl\n")
 		c.fs.PrintDefaults()
 	}
@@ -322,6 +417,8 @@ func main() {
 			} else {
 				fmt.Println(exp.RenderMapCache(pts))
 			}
+		case "workload":
+			return runWorkload(c, opt)
 		case "split":
 			rows, err := exp.TimeSplit(opt)
 			if err != nil {

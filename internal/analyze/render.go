@@ -205,6 +205,10 @@ func (r *Result) CSV() string {
 		b.WriteString("\n")
 		b.WriteString(shard)
 	}
+	if tenants := TenantCSV(r.Runs); tenants != "" {
+		b.WriteString("\n")
+		b.WriteString(tenants)
+	}
 	b.WriteString("\n")
 	b.WriteString(SpansCSV(r.Spans))
 	return b.String()
@@ -432,6 +436,16 @@ func (r *Result) Render() string {
 		run := &r.Runs[i]
 		if run.Shards != nil {
 			b.WriteString(renderShardReport(run.Index, run.Shards))
+		}
+	}
+
+	// Host-frontend traces carry per-command tenant events; traces
+	// without them render exactly as before (section absent, goldens
+	// stable).
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		if run.Tenants != nil {
+			b.WriteString(renderTenantReport(run.Index, run.Tenants))
 		}
 	}
 

@@ -92,6 +92,10 @@ type Run struct {
 	// Shards is the shard-window report for sharded traces (nil when
 	// the run carries no shard-telemetry events).
 	Shards *ShardReport
+	// Tenants is the per-tenant QoS report for traces from the host
+	// frontend's workload engine or trace replay (nil when the run
+	// carries no host-cmd events).
+	Tenants *TenantReport
 }
 
 // Channels returns the run's channel indices in order.
@@ -128,6 +132,7 @@ func Analyze(events []obs.Event) *Result {
 		r := Run{Index: i, Metrics: replay(run), Timelines: map[int]*Timeline{}}
 		r.Spans = Correlate(run)
 		r.Shards = ShardReportFromEvents(run)
+		r.Tenants = TenantReportFromEvents(run)
 		for _, s := range r.Spans {
 			if !s.Complete {
 				r.Incomplete++

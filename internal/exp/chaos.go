@@ -116,8 +116,8 @@ func chaosRun(opt Options, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
 	// Survival contract, part 1: the rig always drains. Individual
 	// commands may fail (uncorrectable reads, offline chips, read-only
 	// mode) but every one of them must terminate.
-	if res.Completed != ops {
-		return ChaosPoint{}, fmt.Errorf("livelock: only %d of %d ops terminated", res.Completed, ops)
+	if res.Done() != ops {
+		return ChaosPoint{}, fmt.Errorf("livelock: only %d of %d ops terminated", res.Done(), ops)
 	}
 	if err := rig.FTL.CheckInvariants(); err != nil {
 		return ChaosPoint{}, fmt.Errorf("FTL invariants violated: %w", err)
@@ -155,7 +155,9 @@ func chaosRun(opt Options, seed int64, tracer obs.Tracer) (ChaosPoint, error) {
 	}
 	st := rig.SSD.Stats()
 	return ChaosPoint{
-		Seed: seed, Completed: res.Completed, Failed: res.Failed,
+		// Completed counts terminations (successes + failures) — the
+		// survival metric; Failed breaks out the failures.
+		Seed: seed, Completed: res.Done(), Failed: res.Failed,
 		FaultHits: plan.Hits(), Recoveries: recoveries, Reissues: st.RecoveredOps,
 		Offlined: st.OfflinedChips, ReadOnly: st.ReadOnly, Verified: verified,
 	}, nil

@@ -20,19 +20,46 @@ const (
 	KindRead Kind = iota
 	// KindWrite writes one logical page.
 	KindWrite
+	// KindTrim invalidates one logical page (NVMe Dataset Management
+	// deallocate): the FTL drops the mapping, a later read returns
+	// zeroes, and GC no longer relocates the page.
+	KindTrim
 )
 
 func (k Kind) String() string {
-	if k == KindRead {
+	switch k {
+	case KindRead:
 		return "read"
+	case KindWrite:
+		return "write"
+	case KindTrim:
+		return "trim"
 	}
-	return "write"
+	return "unknown"
+}
+
+// KindFromString inverts Kind.String (accepting the one-letter trace
+// abbreviations); ok is false for unknown names.
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "read", "r":
+		return KindRead, true
+	case "write", "w":
+		return KindWrite, true
+	case "trim", "t":
+		return KindTrim, true
+	}
+	return 0, false
 }
 
 // Command is one host request for a logical page.
 type Command struct {
 	Kind Kind
 	LPN  int
+	// Tenant attributes the command to a workload-engine tenant for
+	// per-tenant accounting and trace recording; empty for anonymous
+	// traffic. The device ignores it.
+	Tenant string
 	// Done is invoked at completion.
 	Done func(error)
 }
@@ -50,13 +77,22 @@ const (
 	Sequential Pattern = iota
 	// Random issues uniformly random LPNs.
 	Random
+	// Zipfian issues skewed random LPNs concentrated on a hot set —
+	// supported by the tenant workload engine (TenantSpec), which
+	// carries the skew parameters; plain Run rejects it.
+	Zipfian
 )
 
 func (p Pattern) String() string {
-	if p == Sequential {
+	switch p {
+	case Sequential:
 		return "sequential"
+	case Random:
+		return "random"
+	case Zipfian:
+		return "zipfian"
 	}
-	return "random"
+	return "unknown"
 }
 
 // Workload describes one fio-like run.
@@ -66,9 +102,14 @@ type Workload struct {
 	NumOps     int // total commands to issue
 	QueueDepth int // outstanding commands
 	// ReadPercent mixes the command stream: that percentage of commands
-	// are reads, the rest writes (fio's rwmixread). Zero keeps the pure
-	// Kind workload.
-	ReadPercent  int
+	// are reads, the rest writes (fio's rwmixread). The mix engages when
+	// ReadPercent > 0 or MixedRW is set; otherwise the pure Kind
+	// workload runs.
+	ReadPercent int
+	// MixedRW forces the read/write mix on even at ReadPercent == 0, so
+	// a genuine 0%-read (pure-write) mix is expressible. Without it a
+	// zero ReadPercent is indistinguishable from "unset, use Kind".
+	MixedRW      bool
 	LogicalPages int   // address-space size in pages
 	Seed         int64 // RNG seed for Random
 }
@@ -87,11 +128,19 @@ func (w Workload) Validate() error {
 	if w.ReadPercent < 0 || w.ReadPercent > 100 {
 		return fmt.Errorf("hic: ReadPercent %d out of [0,100]", w.ReadPercent)
 	}
+	if w.Pattern == Zipfian {
+		return fmt.Errorf("hic: Zipfian needs skew parameters; use the tenant engine (TenantSpec)")
+	}
 	return nil
 }
 
 // Result aggregates a finished run.
 type Result struct {
+	// Completed counts commands that finished successfully; Failed
+	// counts commands whose Done reported an error. They are disjoint:
+	// bandwidth, IOPS, and the latency distribution are computed from
+	// successes only (a failed command transferred no data), while
+	// Done() gives the total terminations for drain checks.
 	Completed int
 	Failed    int
 	Start     sim.Time
@@ -99,8 +148,20 @@ type Result struct {
 	latencies []sim.Duration
 }
 
-// Elapsed is the wall (virtual) time of the run.
-func (r *Result) Elapsed() sim.Duration { return r.End.Sub(r.Start) }
+// Done reports total terminated commands, successful or not — the
+// number to compare against the issue count when checking a run
+// drained.
+func (r *Result) Done() int { return r.Completed + r.Failed }
+
+// Elapsed is the wall (virtual) time of the run: first issue to last
+// completion. A run in which nothing completed has no extent, so
+// Elapsed is 0 rather than the negative End−Start of the zero End.
+func (r *Result) Elapsed() sim.Duration {
+	if r.End.Sub(r.Start) < 0 {
+		return 0
+	}
+	return r.End.Sub(r.Start)
+}
 
 // BandwidthMBps reports throughput in MB/s for the given page size.
 func (r *Result) BandwidthMBps(pageBytes int) float64 {
@@ -156,8 +217,12 @@ func Run(k *sim.Kernel, sub Submitter, w Workload) (*Result, error) {
 		return rng.Intn(w.LogicalPages)
 	}
 
+	// The mix engages on ReadPercent > 0 OR MixedRW, so legacy pure-Kind
+	// callers (ReadPercent unset) draw nothing from the RNG and keep
+	// their historical address streams byte-identical.
+	mixed := w.MixedRW || w.ReadPercent > 0
 	nextKind := func() Kind {
-		if w.ReadPercent == 0 {
+		if !mixed {
 			return w.Kind
 		}
 		if rng.Intn(100) < w.ReadPercent {
@@ -190,11 +255,16 @@ func Run(k *sim.Kernel, sub Submitter, w Workload) (*Result, error) {
 			})
 		}
 		sl.done = func(err error) {
-			res.Completed++
+			// Failures still advance End (the run ran until then) but stay
+			// out of the latency log and the Completed count: a failed op
+			// moved no data, so it must not inflate bandwidth or shift
+			// the percentiles.
 			if err != nil {
 				res.Failed++
+			} else {
+				res.Completed++
+				res.latencies = append(res.latencies, k.Now().Sub(sl.submitted))
 			}
-			res.latencies = append(res.latencies, k.Now().Sub(sl.submitted))
 			res.End = k.Now()
 			sl.issue() // keep the queue full
 		}

@@ -1,0 +1,125 @@
+package hic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestReadJSONLValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad json":       "{not json}\n",
+		"bad op":         `{"at_ps":0,"queue":0,"op":"erase","lpn":1}` + "\n",
+		"negative lpn":   `{"at_ps":0,"queue":0,"op":"read","lpn":-1}` + "\n",
+		"negative queue": `{"at_ps":0,"queue":-1,"op":"read","lpn":1}` + "\n",
+		"decreasing": `{"at_ps":10,"queue":0,"op":"read","lpn":1}` + "\n" +
+			`{"at_ps":5,"queue":0,"op":"read","lpn":2}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := `{"at_ps":0,"queue":0,"tenant":"a","op":"read","lpn":1}` + "\n" +
+		"\n" + // blank lines are skipped
+		`{"at_ps":5,"queue":1,"op":"trim","lpn":2}` + "\n"
+	entries, err := ReadJSONL(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Tenant != "a" || entries[1].Op != "trim" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestRecorderJSONLRoundTrip(t *testing.T) {
+	rec := &Recorder{}
+	rec.record(0, 0, Command{Kind: KindRead, LPN: 3, Tenant: "x"})
+	rec.record(7, 1, Command{Kind: KindWrite, LPN: 4})
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	for i, want := range rec.Entries() {
+		if entries[i] != want {
+			t.Errorf("entry %d = %+v, want %+v", i, entries[i], want)
+		}
+	}
+}
+
+// TestReplayReproducesStream is the replay-exactness contract at unit
+// scale: record a closed-loop tenant run, replay it open loop on a
+// fresh identical rig, and both the re-recorded stream and the
+// device-level submission stream match the original.
+func TestReplayReproducesStream(t *testing.T) {
+	run := func(entries []RecordEntry) (*Recorder, []int, *Result) {
+		rec := &Recorder{}
+		k, d, f := tenantRig(t, 2, rec)
+		var res *Result
+		if entries == nil {
+			if _, err := RunTenants(k, f, []TenantSpec{
+				{Name: "a", Queue: 0, QueueDepth: 3, NumOps: 25, SlicePages: 16, Seed: 1},
+				{Name: "b", Queue: 1, QueueDepth: 2, NumOps: 25, Pattern: Sequential,
+					Mix: Mix{ReadPct: 60, WritePct: 40}, SliceStart: 16, SlicePages: 16, Seed: 2},
+			}, nil); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var err error
+			res, err = Replay(k, f, entries, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run()
+		return rec, d.seen, res
+	}
+
+	orig, origSeen, _ := run(nil)
+	rerec, replaySeen, res := run(orig.Entries())
+
+	if res.Done() != orig.Len() || res.Failed != 0 {
+		t.Fatalf("replay result: %+v", res)
+	}
+	if len(rerec.Entries()) != len(orig.Entries()) {
+		t.Fatalf("re-recorded %d entries, want %d", len(rerec.Entries()), len(orig.Entries()))
+	}
+	for i, want := range orig.Entries() {
+		if rerec.Entries()[i] != want {
+			t.Fatalf("re-recorded entry %d = %+v, want %+v", i, rerec.Entries()[i], want)
+		}
+	}
+	if len(replaySeen) != len(origSeen) {
+		t.Fatalf("device saw %d submissions on replay, %d originally", len(replaySeen), len(origSeen))
+	}
+	for i := range origSeen {
+		if replaySeen[i] != origSeen[i] {
+			t.Fatalf("device submission %d: replay LPN %d, original %d", i, replaySeen[i], origSeen[i])
+		}
+	}
+}
+
+func TestReplayRejectsBadTraces(t *testing.T) {
+	k := sim.NewKernel()
+	d := &fakeDrive{k: k, latency: sim.Microsecond}
+	f, err := NewFrontend(k, d, FrontendConfig{Queues: []QueueConfig{{Depth: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(k, f, nil, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Replay(k, f, []RecordEntry{{Queue: 3, Op: "read"}}, nil); err == nil {
+		t.Error("out-of-range queue accepted")
+	}
+}

@@ -14,7 +14,7 @@ import (
 // recorded host trace — one command per line:
 //
 //	# comment lines and blanks are ignored
-//	<arrival_us> <read|write> <lpn>
+//	<arrival_us> <read|write|trim> <lpn>
 //
 // Arrival times are virtual microseconds from replay start and must be
 // non-decreasing. Commands are submitted at their arrival instant
@@ -43,7 +43,7 @@ func ParseTrace(r io.Reader) ([]TraceEntry, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("hic: trace line %d: want `<us> <read|write> <lpn>`, got %q", lineNo, line)
+			return nil, fmt.Errorf("hic: trace line %d: want `<us> <read|write|trim> <lpn>`, got %q", lineNo, line)
 		}
 		us, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil || us < 0 {
@@ -54,13 +54,8 @@ func ParseTrace(r io.Reader) ([]TraceEntry, error) {
 			return nil, fmt.Errorf("hic: trace line %d: arrivals must be non-decreasing", lineNo)
 		}
 		last = at
-		var kind Kind
-		switch fields[1] {
-		case "read", "r":
-			kind = KindRead
-		case "write", "w":
-			kind = KindWrite
-		default:
+		kind, ok := KindFromString(fields[1])
+		if !ok {
 			return nil, fmt.Errorf("hic: trace line %d: bad op %q", lineNo, fields[1])
 		}
 		lpn, err := strconv.Atoi(fields[2])
@@ -85,7 +80,7 @@ func ReplayTrace(k *sim.Kernel, sub Submitter, entries []TraceEntry) (*Result, e
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("hic: empty trace")
 	}
-	res := &Result{Start: k.Now()}
+	res := &Result{Start: k.Now(), latencies: make([]sim.Duration, 0, len(entries))}
 	for _, e := range entries {
 		e := e
 		k.After(e.At, func() {
@@ -94,11 +89,12 @@ func ReplayTrace(k *sim.Kernel, sub Submitter, entries []TraceEntry) (*Result, e
 				Kind: e.Kind,
 				LPN:  e.LPN,
 				Done: func(err error) {
-					res.Completed++
 					if err != nil {
 						res.Failed++
+					} else {
+						res.Completed++
+						res.latencies = append(res.latencies, k.Now().Sub(submitted))
 					}
-					res.latencies = append(res.latencies, k.Now().Sub(submitted))
 					res.End = k.Now()
 				},
 			})

@@ -58,6 +58,50 @@ func FTLHandler(snap func() Snapshot) http.Handler {
 	})
 }
 
+// TenantsHandler serves the per-tenant host-command view of a metrics
+// registry: completion/failure counts, command mix, and the latency
+// distribution per tenant — the live panel behind `babolbench -http`
+// at /tenants. snap is called once per request; hand it
+// (*SyncMetrics).Snapshot when rigs feed it concurrently. The view is
+// empty until a workload-engine (or trace-replay) run reports in.
+func TenantsHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tenantsWire(snap()))
+	})
+}
+
+type tenantRowWire struct {
+	Tenant    string   `json:"tenant"`
+	Queue     int      `json:"queue"`
+	Completed uint64   `json:"completed"`
+	Failed    uint64   `json:"failed"`
+	Reads     uint64   `json:"reads"`
+	Writes    uint64   `json:"writes"`
+	Trims     uint64   `json:"trims"`
+	Latency   histWire `json:"latency"`
+}
+
+type tenantsViewWire struct {
+	Tenants []tenantRowWire `json:"tenants,omitempty"`
+}
+
+func tenantsWire(s Snapshot) tenantsViewWire {
+	var out tenantsViewWire
+	for name, t := range s.Tenants {
+		out.Tenants = append(out.Tenants, tenantRowWire{
+			Tenant: name, Queue: t.Queue,
+			Completed: t.Completed, Failed: t.Failed,
+			Reads: t.Reads, Writes: t.Writes, Trims: t.Trims,
+			Latency: histogramWire(t.Latency),
+		})
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool { return out.Tenants[i].Tenant < out.Tenants[j].Tenant })
+	return out
+}
+
 type ftlViewWire struct {
 	MapCacheActive bool    `json:"map_cache_active"`
 	MapHits        uint64  `json:"map_hits"`

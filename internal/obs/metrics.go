@@ -105,6 +105,22 @@ type MailboxMetrics struct {
 	Peak  int64
 }
 
+// TenantMetrics aggregates one tenant's host-command stream from
+// KindHostCmd events — the live per-tenant counters behind the
+// /tenants endpoint. Failed completions stay out of Latency, matching
+// the hic.Result contract.
+type TenantMetrics struct {
+	Queue     int
+	Completed uint64
+	Failed    uint64
+	Reads     uint64
+	Writes    uint64
+	Trims     uint64
+	// Latency is the enqueue→completion latency distribution of the
+	// tenant's successful commands (picoseconds).
+	Latency Histogram
+}
+
 // ChannelMetrics aggregates one channel's activity.
 type ChannelMetrics struct {
 	TxnsEnqueued uint64
@@ -189,6 +205,10 @@ type Snapshot struct {
 	MapMisses    uint64
 	MapEvictions uint64
 	MapFlushes   uint64
+
+	// Tenants aggregates the host frontend's KindHostCmd events by
+	// tenant name; empty when no tenant traffic was observed.
+	Tenants map[string]TenantMetrics
 
 	Channels map[int]ChannelMetrics
 	Chips    map[ChipKey]ChipMetrics
@@ -303,6 +323,7 @@ type Metrics struct {
 	mapEvictions uint64
 	mapFlushes   uint64
 
+	tenants  map[string]*TenantMetrics
 	channels map[int]*ChannelMetrics
 	chips    map[ChipKey]*ChipMetrics
 }
@@ -315,6 +336,7 @@ func NewMetrics() *Metrics {
 		recovsBy:  make(map[string]uint64),
 		shards:    make(map[int]*ShardMetrics),
 		mailboxes: make(map[MailboxKey]MailboxMetrics),
+		tenants:   make(map[string]*TenantMetrics),
 		channels:  make(map[int]*ChannelMetrics),
 		chips:     make(map[ChipKey]*ChipMetrics),
 	}
@@ -424,6 +446,27 @@ func (m *Metrics) Event(e Event) {
 		case "flush":
 			m.mapFlushes++
 		}
+	case KindHostCmd:
+		t := m.tenants[e.Label]
+		if t == nil {
+			t = &TenantMetrics{}
+			m.tenants[e.Label] = t
+		}
+		t.Queue = e.Depth
+		if e.Err {
+			t.Failed++
+		} else {
+			t.Completed++
+			t.Latency.Observe(int64(e.Dur))
+		}
+		switch e.Cycles {
+		case 0:
+			t.Reads++
+		case 1:
+			t.Writes++
+		case 2:
+			t.Trims++
+		}
 	}
 }
 
@@ -482,6 +525,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		RecoveriesByLabel: make(map[string]uint64, len(m.recovsBy)),
 		Shards:            make(map[int]ShardMetrics, len(m.shards)),
 		Mailboxes:         make(map[MailboxKey]MailboxMetrics, len(m.mailboxes)),
+		Tenants:           make(map[string]TenantMetrics, len(m.tenants)),
 		Channels:          make(map[int]ChannelMetrics, len(m.channels)),
 		Chips:             make(map[ChipKey]ChipMetrics, len(m.chips)),
 	}
@@ -499,6 +543,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.mailboxes {
 		out.Mailboxes[k] = v
+	}
+	for k, v := range m.tenants {
+		out.Tenants[k] = *v
 	}
 	for k, v := range m.channels {
 		out.Channels[k] = *v

@@ -90,6 +90,14 @@ const (
 	// map write-back). Disabled caches emit nothing, keeping traces
 	// byte-identical to pre-cache builds.
 	KindMapCache
+	// KindHostCmd fires from the host frontend (internal/hic's tenant
+	// engine and trace replay) at each command completion: Label is the
+	// tenant name (empty for anonymous traffic), Depth the submission
+	// queue index, Cycles the hic command kind (0 read, 1 write,
+	// 2 trim), Dur the enqueue→completion latency, and Err whether the
+	// command failed. Chip is -1 (no die is attributable host-side) and
+	// OpID stays 0 so span correlation and run splitting ignore these.
+	KindHostCmd
 )
 
 var kindNames = [...]string{
@@ -109,6 +117,7 @@ var kindNames = [...]string{
 	KindShardWindow:   "shard-window",
 	KindShardMailbox:  "shard-mailbox",
 	KindMapCache:      "map-cache",
+	KindHostCmd:       "host-cmd",
 }
 
 func (k Kind) String() string {

@@ -188,6 +188,9 @@ type Rig struct {
 	// two shards), and Run merges them into sink by (time, domain).
 	sink    obs.Tracer
 	domBufs []*obs.Buffer
+	// tracer is the resolved event sink of an unsharded rig (cfg.Tracer
+	// composed with Metrics); HostTracer hands it to host-side emitters.
+	tracer obs.Tracer
 
 	// traceWindows, shardSeqEmitted, and mboxEmitted implement the
 	// TraceShardWindows flush: each Run emits only the windows recorded
@@ -293,6 +296,7 @@ func Build(cfg BuildConfig) (*Rig, error) {
 			tracer = rig.Metrics
 		}
 	}
+	rig.tracer = tracer
 	if cluster != nil && tracer != nil {
 		// Sharded trace discipline: one buffer per domain, merged into
 		// the real sink (including Metrics) by Rig.Run — a Tracer must

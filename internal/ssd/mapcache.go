@@ -30,6 +30,7 @@ import (
 type mapWaiter struct {
 	cmd   hic.Command
 	write bool
+	trim  bool
 }
 
 // mapMiss parks a host command on its map page's load, issuing the
@@ -90,9 +91,12 @@ func (s *SSD) finishMapLoad(mpn int) {
 	ws := s.mapLoads[mpn]
 	delete(s.mapLoads, mpn)
 	for _, w := range ws {
-		if w.write {
+		switch {
+		case w.write:
 			s.writeMapped(w.cmd)
-		} else {
+		case w.trim:
+			s.trimMapped(w.cmd)
+		default:
 			s.readMapped(w.cmd)
 		}
 	}

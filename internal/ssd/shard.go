@@ -266,6 +266,19 @@ func (r *Rig) flushShardTelemetry() {
 // Now reports the rig's virtual time (the host shard's clock).
 func (r *Rig) Now() sim.Time { return r.Kernel.Now() }
 
+// HostTracer returns the tracer host-domain code (the HIC frontend and
+// the workload engine) must emit into: the host shard's private trace
+// buffer on a sharded rig — merged by Run under the (time, domain)
+// discipline, so host events interleave deterministically with channel
+// events at any shard count — or the rig's plain sink otherwise. nil
+// when tracing is off.
+func (r *Rig) HostTracer() obs.Tracer {
+	if r.Cluster != nil {
+		return domainTracer(r.domBufs, 0)
+	}
+	return r.tracer
+}
+
 // drainShardTraces k-way-merges the per-domain trace buffers into the
 // rig's configured sink in (time, domain index) order. Each domain's
 // buffer is already time-ordered (a kernel never runs backwards), so a

@@ -73,6 +73,7 @@ type Config struct {
 type Stats struct {
 	HostReads      uint64
 	HostWrites     uint64
+	HostTrims      uint64
 	GCCycles       uint64
 	GCCopybacks    uint64
 	UrgentReads    uint64 // reads served inside a suspended erase
@@ -233,6 +234,9 @@ func (s *SSD) Submit(cmd hic.Command) {
 	case hic.KindWrite:
 		s.stats.HostWrites++
 		s.write(cmd)
+	case hic.KindTrim:
+		s.stats.HostTrims++
+		s.trim(cmd)
 	default:
 		s.complete(cmd, fmt.Errorf("ssd: unknown command kind %d", cmd.Kind))
 	}
@@ -448,6 +452,45 @@ func (s *SSD) programLanded(lpn int) {
 // Callers must have checked inflightPrograms[lpn] > 0.
 func (s *SSD) awaitProgram(lpn int, fn func()) {
 	s.programWaiters[lpn] = append(s.programWaiters[lpn], fn)
+}
+
+// trim deallocates a logical page (NVMe Dataset Management): the FTL
+// drops the mapping, a later read returns zeroes, and GC stops
+// relocating the page. Like a write, the translation page must be
+// resident first — a trim dirties it — so trims pay map-cache misses
+// like every other mutation.
+func (s *SSD) trim(cmd hic.Command) {
+	if s.degraded {
+		s.complete(cmd, ErrReadOnly)
+		return
+	}
+	if s.mapCache {
+		mpn, hit := s.ftl.CacheAcquire(cmd.LPN)
+		if !hit {
+			s.mapMiss(mpn, mapWaiter{cmd: cmd, trim: true})
+			return
+		}
+		s.mapEvent("hit", -1)
+	}
+	s.trimMapped(cmd)
+}
+
+// trimMapped runs a trim whose translation page is resident. A trim
+// racing an in-flight program for the same LPN parks until the program
+// lands (the host issued both concurrently, so "trim wins" ordering is
+// legal — but invalidating under a program in flight would let GC see
+// a half-settled mapping).
+func (s *SSD) trimMapped(cmd hic.Command) {
+	if s.degraded {
+		s.complete(cmd, ErrReadOnly)
+		return
+	}
+	if s.inflightPrograms[cmd.LPN] > 0 {
+		s.awaitProgram(cmd.LPN, func() { s.trimMapped(cmd) })
+		return
+	}
+	s.ftl.Invalidate(cmd.LPN)
+	s.complete(cmd, nil)
 }
 
 // write expects the host payload to already be staged by the caller; the
